@@ -1,0 +1,130 @@
+// Ablation — the design choices DESIGN.md calls out, measured one at a
+// time on the scalability mesh:
+//
+//  1. child-before-parent forwarding (§3.3's traversal policy) vs
+//     parents-first: both complete; the policy shifts where the traversal
+//     pays its visits.
+//  2. Union Rule on/off in the LGC: without it the collector reclaims the
+//     parent replica of live remote data — the Figure 1 failure, counted
+//     as lost live objects.
+//  3. The subsumption filter: detections re-run under identical snapshots
+//     to show duplicate CDMs being absorbed.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "gc/adgc/adgc.h"
+#include "gc/lgc/lgc.h"
+#include "workload/figures.h"
+#include "workload/mesh.h"
+
+namespace {
+
+using namespace rgc;
+
+struct Outcome {
+  std::uint64_t steps{0};
+  std::uint64_t cdms{0};
+  std::uint64_t forwards{0};
+  bool converged{false};
+};
+
+Outcome run_policy(bool children_first, std::size_t R, std::size_t D) {
+  core::ClusterConfig cfg;
+  cfg.detector.children_first = children_first;
+  core::Cluster cluster{cfg};
+  const workload::Mesh mesh = workload::build_mesh(cluster, {R, D});
+  const auto before = cluster.network().total_sent("CDM");
+  cluster.snapshot_all();
+  const auto start = cluster.now();
+  cluster.detect(mesh.head_process, mesh.head);
+  while (cluster.cycles_found().empty() && !cluster.network().idle()) {
+    cluster.step();
+  }
+  Outcome out;
+  out.converged = !cluster.cycles_found().empty();
+  out.steps = cluster.now() - start;
+  cluster.run_until_quiescent();
+  out.cdms = cluster.network().total_sent("CDM") - before;
+  out.forwards = cluster.metric_total("cycle.forwards");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation 1 — forwarding policy (ring mesh)\n");
+  std::printf("%4s %6s | %18s | %18s\n", "R", "deps", "children-first",
+              "parents-first");
+  std::printf("%4s %6s | %8s %9s | %8s %9s\n", "", "", "steps", "cdms",
+              "steps", "cdms");
+  for (const std::size_t R : {2, 4}) {
+    for (const std::size_t D : {10, 50}) {
+      const Outcome child = run_policy(true, R, D);
+      const Outcome parent = run_policy(false, R, D);
+      std::printf("%4zu %6zu | %8llu %9llu | %8llu %9llu%s\n", R, D,
+                  static_cast<unsigned long long>(child.steps),
+                  static_cast<unsigned long long>(child.cdms),
+                  static_cast<unsigned long long>(parent.steps),
+                  static_cast<unsigned long long>(parent.cdms),
+                  child.converged && parent.converged ? "" : "  (!)");
+    }
+  }
+
+  std::printf("\nAblation 2 — Union Rule on/off (Figure 1 safety workload)\n");
+  for (const bool union_rule : {true, false}) {
+    core::Cluster cluster;
+    const auto fig = workload::build_figure1(cluster);
+    const auto before = core::Oracle::analyze(cluster);
+    gc::LgcConfig lgc_cfg;
+    lgc_cfg.union_rule = union_rule;
+    for (int i = 0; i < 4; ++i) {
+      for (ProcessId pid : cluster.process_ids()) {
+        const auto r = gc::Lgc::collect(cluster.process(pid), lgc_cfg);
+        gc::Adgc::after_collection(cluster.process(pid), r);
+      }
+      cluster.run_until_quiescent();
+    }
+    const auto after = core::Oracle::analyze(cluster);
+    std::size_t lost = 0;
+    for (ObjectId obj : before.live_objects) {
+      if (!after.object_exists(obj)) ++lost;
+    }
+    std::printf("  union_rule=%-5s -> live objects lost: %zu %s\n",
+                union_rule ? "on" : "off", lost,
+                lost == 0 ? "(safe)" : "(REFERENTIAL INTEGRITY BROKEN)");
+    (void)fig;
+  }
+
+  std::printf("\nAblation 3 — subsumption filter (repeat detection, same "
+              "snapshots)\n");
+  {
+    core::Cluster cluster;
+    const workload::Mesh mesh = workload::build_mesh(cluster, {3, 10});
+    cluster.snapshot_all();
+    cluster.detect(mesh.head_process, mesh.head);
+    cluster.run_until_quiescent();
+    const auto first_drops = cluster.metric_total("cycle.drops_subsumed");
+    // Same detection id cannot be replayed from outside; but a second
+    // detection against the *unchanged* snapshots traverses the identical
+    // graph — the per-detection filter keeps the two detections' traffic
+    // apart (no false sharing), while duplicated deliveries within one
+    // detection (e.g. injected by the network) are absorbed.
+    core::ClusterConfig lossy;
+    lossy.net.duplicate_probability = 0.8;
+    lossy.net.seed = 99;
+    core::Cluster dup_cluster{lossy};
+    const workload::Mesh dup_mesh = workload::build_mesh(dup_cluster, {3, 10});
+    dup_cluster.snapshot_all();
+    dup_cluster.detect(dup_mesh.head_process, dup_mesh.head);
+    dup_cluster.run_until_quiescent();
+    std::printf(
+        "  clean run: %llu subsumption drops; 80%% duplication: %llu drops, "
+        "cycle still found: %s\n",
+        static_cast<unsigned long long>(first_drops),
+        static_cast<unsigned long long>(
+            dup_cluster.metric_total("cycle.drops_subsumed")),
+        dup_cluster.cycles_found().empty() ? "NO" : "yes");
+  }
+  return 0;
+}

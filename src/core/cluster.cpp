@@ -1,0 +1,300 @@
+#include "core/cluster.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rgc::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), net_(config.net), finalizer_(config.finalize) {}
+
+Cluster::~Cluster() = default;
+
+ProcessId Cluster::add_process() {
+  const ProcessId pid{next_process_++};
+  Node node;
+  node.process = std::make_unique<rm::Process>(pid, net_);
+  node.detector =
+      std::make_unique<gc::CycleDetector>(*node.process, config_.detector);
+  node.baseline = std::make_unique<gc::BaselineDetector>(*node.process);
+  node.distance =
+      std::make_unique<gc::DistanceHeuristic>(config_.candidate_threshold);
+  node.suspicion =
+      std::make_unique<gc::SuspicionAgeTracker>(config_.candidate_threshold);
+  node.detector->on_cycle_found = [this, pid](const gc::Cdm& cdm) {
+    handle_cycle_found(pid, cdm);
+  };
+  node.baseline->on_cycle_found = [this, pid](const gc::Cdm& cdm) {
+    handle_cycle_found(pid, cdm);
+  };
+  nodes_.emplace(pid, std::move(node));
+  net_.attach(pid, [this, pid](const net::Envelope& env) { dispatch(pid, env); });
+  return pid;
+}
+
+std::vector<ProcessId> Cluster::process_ids() const {
+  std::vector<ProcessId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [pid, node] : nodes_) out.push_back(pid);
+  return out;
+}
+
+rm::Process& Cluster::process(ProcessId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  return *it->second.process;
+}
+
+const rm::Process& Cluster::process(ProcessId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  return *it->second.process;
+}
+
+gc::CycleDetector& Cluster::detector(ProcessId id) {
+  return *nodes_.at(id).detector;
+}
+
+gc::BaselineDetector& Cluster::baseline(ProcessId id) {
+  return *nodes_.at(id).baseline;
+}
+
+gc::DistanceHeuristic& Cluster::distance_heuristic(ProcessId id) {
+  return *nodes_.at(id).distance;
+}
+
+gc::SuspicionAgeTracker& Cluster::suspicion_tracker(ProcessId id) {
+  return *nodes_.at(id).suspicion;
+}
+
+ObjectId Cluster::new_object(ProcessId owner, std::uint32_t payload_bytes) {
+  const ObjectId id{next_object_++};
+  process(owner).create_object(id, payload_bytes);
+  return id;
+}
+
+void Cluster::add_ref(ProcessId at, ObjectId from, ObjectId to) {
+  process(at).add_ref(from, to);
+}
+
+void Cluster::remove_ref(ProcessId at, ObjectId from, ObjectId to) {
+  process(at).remove_ref(from, to);
+}
+
+void Cluster::add_root(ProcessId at, ObjectId target) {
+  process(at).add_root(target);
+}
+
+void Cluster::remove_root(ProcessId at, ObjectId target) {
+  process(at).remove_root(target);
+}
+
+void Cluster::propagate(ObjectId object, ProcessId from, ProcessId to) {
+  process(from).propagate(object, to);
+}
+
+void Cluster::invoke(ProcessId caller, ObjectId target,
+                     std::uint32_t root_steps) {
+  process(caller).invoke(target, root_steps);
+}
+
+void Cluster::step() {
+  net_.step();
+  for (auto& [pid, node] : nodes_) node.process->tick();
+}
+
+std::uint64_t Cluster::run_until_quiescent(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!net_.idle() && steps < max_steps) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+gc::LgcResult Cluster::collect(ProcessId id) {
+  Node& node = nodes_.at(id);
+  rm::Process& proc = *node.process;
+  gc::LgcConfig cfg;
+  cfg.finalizer = &finalizer_;
+  gc::LgcResult result = gc::Lgc::collect(proc, cfg);
+
+  // Candidate heuristics digest every collection regardless of policy —
+  // the distance announcements cost a few bytes on traffic that flows
+  // anyway, and tests/benches can inspect either tracker.
+  node.distance->prune(proc);
+  const auto announcements = node.distance->after_collection(proc, result);
+  node.suspicion->after_collection(proc, result);
+
+  gc::Adgc::after_collection(proc, result, &announcements);
+  return result;
+}
+
+void Cluster::collect_all() {
+  for (auto& [pid, node] : nodes_) collect(pid);
+}
+
+void Cluster::snapshot_all() {
+  for (auto& [pid, node] : nodes_) {
+    node.detector->take_snapshot();
+    if (config_.mode == DetectorMode::kBaseline) {
+      node.baseline->take_snapshot();
+    }
+  }
+}
+
+std::optional<std::uint64_t> Cluster::detect(ProcessId at, ObjectId candidate) {
+  if (config_.mode == DetectorMode::kBaseline) {
+    return baseline(at).start_detection(candidate);
+  }
+  return detector(at).start_detection(candidate);
+}
+
+Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
+  FullGcStats stats;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++stats.rounds;
+    const std::uint64_t cycles_before = cycles_found_.size();
+
+    // Acyclic phase: drive LGC + ADGC (and any pending cuts) to a
+    // fixpoint.  Unreachable/Reclaim chains need one collection per tree
+    // level, and a message delivered during an iteration's quiescence can
+    // unlock sweeps only the *next* collection performs — so progress is
+    // measured as sweeps *plus* deliveries of state-unlocking traffic.
+    auto unlock_signal = [this] {
+      return net_.metrics().get("net.delivered.Unreachable") +
+             net_.metrics().get("net.delivered.Reclaim") +
+             net_.metrics().get("net.delivered.Cut") +
+             net_.metrics().get("net.delivered.PropCut") +
+             metric_total("adgc.scions_deleted");
+    };
+    std::uint64_t reclaimed_this_round = 0;
+    for (std::size_t inner = 0; inner < 4 * nodes_.size() + 8; ++inner) {
+      const std::uint64_t signal_before = unlock_signal();
+      std::uint64_t reclaimed = 0;
+      for (auto& [pid, node] : nodes_) {
+        reclaimed += collect(pid).reclaimed.size();
+      }
+      run_until_quiescent();
+      reclaimed_this_round += reclaimed;
+      if (reclaimed == 0 && unlock_signal() == signal_before) break;
+    }
+    stats.reclaimed_objects += reclaimed_this_round;
+
+    // Cyclic phase: fresh snapshots, then one detection per suspect under
+    // the configured candidate policy.
+    snapshot_all();
+    std::uint64_t started = 0;
+    for (auto& [pid, node] : nodes_) {
+      const gc::ProcessSummary& s = config_.mode == DetectorMode::kBaseline
+                                        ? node.baseline->summary()
+                                        : node.detector->summary();
+      for (ObjectId suspect : pick_suspects(node, s)) {
+        if (detect(pid, suspect).has_value()) ++started;
+      }
+    }
+    stats.detections_started += started;
+    run_until_quiescent();
+
+    const std::uint64_t new_cycles = cycles_found_.size() - cycles_before;
+    stats.cycles_found += new_cycles;
+    // Heuristic candidate policies need threshold-many collections before
+    // estimates/ages mature into suspects — don't give up before that.
+    const bool warming_up =
+        config_.candidates != CandidatePolicy::kExhaustive &&
+        round < config_.candidate_threshold + 1;
+    if (reclaimed_this_round == 0 && new_cycles == 0 && !warming_up) break;
+  }
+  return stats;
+}
+
+std::set<ObjectId> Cluster::suspects(ProcessId id) {
+  Node& node = nodes_.at(id);
+  const bool use_baseline = config_.mode == DetectorMode::kBaseline;
+  if (use_baseline ? !node.baseline->has_snapshot()
+                   : !node.detector->has_snapshot()) {
+    return {};
+  }
+  return pick_suspects(node, use_baseline ? node.baseline->summary()
+                                          : node.detector->summary());
+}
+
+std::set<ObjectId> Cluster::pick_suspects(const Node& node,
+                                          const gc::ProcessSummary& s) {
+  std::set<ObjectId> suspects;
+  switch (config_.candidates) {
+    case CandidatePolicy::kExhaustive:
+      for (const auto& [key, scion] : s.scions) {
+        if (!scion.local_reach) suspects.insert(key.anchor);
+      }
+      for (const auto& [obj, rep] : s.replicas) {
+        if (!rep.local_reach) suspects.insert(obj);
+      }
+      break;
+    case CandidatePolicy::kDistance:
+      for (ObjectId obj : node.distance->suspects()) suspects.insert(obj);
+      break;
+    case CandidatePolicy::kSuspicionAge:
+      for (ObjectId obj : node.suspicion->suspects()) suspects.insert(obj);
+      break;
+  }
+  return suspects;
+}
+
+std::uint64_t Cluster::total_objects() const {
+  std::uint64_t total = 0;
+  for (const auto& [pid, node] : nodes_) total += node.process->heap().size();
+  return total;
+}
+
+std::uint64_t Cluster::metric_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [pid, node] : nodes_) {
+    total += node.process->metrics().get(name);
+  }
+  return total;
+}
+
+void Cluster::dispatch(ProcessId pid, const net::Envelope& env) {
+  Node& node = nodes_.at(pid);
+  const net::Message* m = env.msg;
+  if (const auto* p = dynamic_cast<const rm::PropagateMsg*>(m)) {
+    node.process->on_propagate(env, *p);
+  } else if (const auto* p = dynamic_cast<const rm::InvokeMsg*>(m)) {
+    node.process->on_invoke(env, *p);
+  } else if (const auto* p = dynamic_cast<const gc::NewSetStubsMsg*>(m)) {
+    gc::Adgc::on_new_set_stubs(*node.process, env, *p);
+    if (!p->distances.empty()) {
+      const std::map<ObjectId, std::uint32_t> estimates(p->distances.begin(),
+                                                        p->distances.end());
+      node.distance->apply_remote_estimates(*node.process, env.src, estimates);
+    }
+  } else if (const auto* p = dynamic_cast<const gc::UnreachableMsg*>(m)) {
+    gc::Adgc::on_unreachable(*node.process, env, *p);
+  } else if (const auto* p = dynamic_cast<const gc::ReclaimMsg*>(m)) {
+    gc::Adgc::on_reclaim(*node.process, env, *p);
+  } else if (const auto* p = dynamic_cast<const gc::CdmMsg*>(m)) {
+    if (config_.mode == DetectorMode::kBaseline) {
+      node.baseline->on_cdm(env, *p);
+    } else {
+      node.detector->on_cdm(env, *p);
+    }
+  } else if (const auto* p = dynamic_cast<const gc::CutMsg*>(m)) {
+    node.detector->on_cut(env, *p);
+  } else if (const auto* p = dynamic_cast<const gc::PropCutMsg*>(m)) {
+    node.detector->on_prop_cut(env, *p);
+  } else {
+    throw std::logic_error(std::string("unhandled message kind: ") + m->kind());
+  }
+}
+
+void Cluster::handle_cycle_found(ProcessId at, const gc::Cdm& cdm) {
+  cycles_found_.push_back(cdm);
+  if (!config_.auto_cut) return;
+  auto cut = std::make_unique<gc::CutMsg>(gc::CycleDetector::make_cut(cdm));
+  net_.send(at, cdm.candidate.process, std::move(cut));
+}
+
+}  // namespace rgc::core

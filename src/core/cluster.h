@@ -1,0 +1,179 @@
+// Cluster — the library's public facade.
+//
+// A Cluster owns the simulated network, the participating processes, and a
+// cycle-detector instance per process (replication-aware and/or baseline),
+// and wires message dispatch between them.  Applications build and mutate
+// the distributed replicated graph through it, advance virtual time with
+// step(), and run the collectors:
+//
+//   rgc::core::Cluster cluster;
+//   auto p1 = cluster.add_process();
+//   auto p2 = cluster.add_process();
+//   auto x = cluster.new_object(p1);
+//   cluster.add_root(p1, x);
+//   cluster.propagate(x, p1, p2);          // replicate x onto p2
+//   cluster.run_until_quiescent();
+//   cluster.remove_root(p1, x);            // x becomes garbage everywhere
+//   cluster.run_full_gc();                 // ... and is reclaimed
+//
+// Everything is deterministic under a fixed ClusterConfig::net.seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gc/adgc/adgc.h"
+#include "gc/baseline/baseline_detector.h"
+#include "gc/cycle/detector.h"
+#include "gc/cycle/heuristics.h"
+#include "gc/lgc/lgc.h"
+#include "net/network.h"
+#include "rm/process.h"
+#include "util/ids.h"
+
+namespace rgc::core {
+
+/// Which algorithm handles CDM traffic in this cluster.
+enum class DetectorMode {
+  kReplicationAware,  // the paper's contribution (§3)
+  kBaseline,          // modified [23]: props flattened to reference pairs
+};
+
+/// How run_full_gc picks cycle-detection candidates (§3.1 leaves the
+/// heuristic open; [14] supplies the distance scheme).
+enum class CandidatePolicy {
+  /// Every locally-unreachable scion anchor / replica, every round —
+  /// maximal completeness per round, maximal wasted detections.
+  kExhaustive,
+  /// Maheshwari-style distance estimates piggybacked on NewSetStubs;
+  /// detect only anchors whose estimates crossed the threshold.
+  kDistance,
+  /// Objects that survived N consecutive collections anchored only
+  /// remotely.
+  kSuspicionAge,
+};
+
+struct ClusterConfig {
+  net::NetworkConfig net{};
+  DetectorMode mode{DetectorMode::kReplicationAware};
+  gc::DetectorConfig detector{};
+  /// Apply the cut automatically when a detection proves a cycle.
+  bool auto_cut{true};
+  /// Finalization strategy used by collect()/collect_all() (Figure 6/7).
+  gc::FinalizeStrategy finalize{gc::FinalizeStrategy::kNone};
+  /// Candidate selection for run_full_gc's detection sweeps.
+  CandidatePolicy candidates{CandidatePolicy::kExhaustive};
+  /// Threshold for the heuristic policies (distance / suspicion age).
+  std::uint32_t candidate_threshold{3};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- Topology ---------------------------------------------------------
+  ProcessId add_process();
+  [[nodiscard]] std::size_t process_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::vector<ProcessId> process_ids() const;
+  [[nodiscard]] rm::Process& process(ProcessId id);
+  [[nodiscard]] const rm::Process& process(ProcessId id) const;
+  [[nodiscard]] gc::CycleDetector& detector(ProcessId id);
+  [[nodiscard]] gc::BaselineDetector& baseline(ProcessId id);
+  [[nodiscard]] gc::DistanceHeuristic& distance_heuristic(ProcessId id);
+  [[nodiscard]] gc::SuspicionAgeTracker& suspicion_tracker(ProcessId id);
+  [[nodiscard]] net::Network& network() noexcept { return net_; }
+  [[nodiscard]] const net::Network& network() const noexcept { return net_; }
+
+  // ---- Graph building & mutation (delegates to the owning process) ------
+  /// Creates a new object with a globally unique id on `owner`.
+  ObjectId new_object(ProcessId owner, std::uint32_t payload_bytes = 16);
+  void add_ref(ProcessId at, ObjectId from, ObjectId to);
+  void remove_ref(ProcessId at, ObjectId from, ObjectId to);
+  void add_root(ProcessId at, ObjectId target);
+  void remove_root(ProcessId at, ObjectId target);
+  void propagate(ObjectId object, ProcessId from, ProcessId to);
+  void invoke(ProcessId caller, ObjectId target, std::uint32_t root_steps = 1);
+
+  // ---- Virtual time ------------------------------------------------------
+  /// One simulation step: deliver due messages, expire transient roots.
+  void step();
+  /// Steps until no messages are in flight; returns steps executed.
+  std::uint64_t run_until_quiescent(std::uint64_t max_steps = 100000);
+  [[nodiscard]] std::uint64_t now() const noexcept { return net_.now(); }
+
+  // ---- Garbage collection -------------------------------------------------
+  /// One local collection + acyclic-protocol round on one process.
+  gc::LgcResult collect(ProcessId id);
+  /// collect() on every process (in id order).
+  void collect_all();
+  /// Snapshot + summarize every process (no coordination — each snapshot
+  /// is independent; this bulk helper is a convenience, not a barrier).
+  void snapshot_all();
+  /// Starts a detection with `candidate` (owned by `at`) as suspect.
+  std::optional<std::uint64_t> detect(ProcessId at, ObjectId candidate);
+
+  /// Detection candidates the configured CandidatePolicy currently yields
+  /// for `id` (empty when no snapshot has been taken yet).
+  [[nodiscard]] std::set<ObjectId> suspects(ProcessId id);
+
+  /// Cycles proven so far (verdict CDMs, in discovery order).
+  [[nodiscard]] const std::vector<gc::Cdm>& cycles_found() const noexcept {
+    return cycles_found_;
+  }
+
+  /// Exhaustive multi-round GC driver: alternates acyclic rounds (LGC +
+  /// ADGC + message quiescence) with detection sweeps over every suspect
+  /// until a full iteration reclaims nothing and proves no new cycle.
+  /// Candidate selection is exhaustive — the paper leaves heuristics out
+  /// of scope; this is the completeness-oriented choice.
+  struct FullGcStats {
+    std::uint64_t rounds{0};
+    std::uint64_t reclaimed_objects{0};
+    std::uint64_t cycles_found{0};
+    std::uint64_t detections_started{0};
+  };
+  FullGcStats run_full_gc(std::size_t max_rounds = 32);
+
+  // ---- Introspection ------------------------------------------------------
+  /// Total replicas across all processes.
+  [[nodiscard]] std::uint64_t total_objects() const;
+  /// Sum of one metric across all processes.
+  [[nodiscard]] std::uint64_t metric_total(const std::string& name) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<rm::Process> process;
+    std::unique_ptr<gc::CycleDetector> detector;
+    std::unique_ptr<gc::BaselineDetector> baseline;
+    std::unique_ptr<gc::DistanceHeuristic> distance;
+    std::unique_ptr<gc::SuspicionAgeTracker> suspicion;
+  };
+
+  /// Candidates for one process's detection sweep under the configured
+  /// policy, given its fresh summary.
+  [[nodiscard]] std::set<ObjectId> pick_suspects(const Node& node,
+                                                 const gc::ProcessSummary& s);
+
+  void dispatch(ProcessId pid, const net::Envelope& env);
+  void handle_cycle_found(ProcessId at, const gc::Cdm& cdm);
+
+  ClusterConfig config_;
+  net::NetworkConfig net_config_;
+  net::Network net_;
+  std::map<ProcessId, Node> nodes_;
+  std::uint64_t next_object_{0};
+  std::uint32_t next_process_{0};
+  std::vector<gc::Cdm> cycles_found_;
+  gc::Finalizer finalizer_;
+};
+
+}  // namespace rgc::core

@@ -1,0 +1,34 @@
+#include "core/daemon.h"
+
+namespace rgc::core {
+
+GcDaemon::GcDaemon(Cluster& cluster, DaemonConfig config)
+    : cluster_(cluster), config_(config) {
+  if (config_.collect_period == 0) config_.collect_period = 1;
+  if (config_.snapshot_period == 0) config_.snapshot_period = 1;
+}
+
+void GcDaemon::step() {
+  cluster_.step();
+  const std::uint64_t now = cluster_.now();
+  for (ProcessId pid : cluster_.process_ids()) {
+    const std::uint64_t phase = now + raw(pid) * config_.stagger;
+    if (phase % config_.collect_period == 0) {
+      cluster_.collect(pid);
+      ++collections_;
+    }
+    if (phase % config_.snapshot_period == 0) {
+      cluster_.detector(pid).take_snapshot();
+      ++sweeps_;
+      for (ObjectId suspect : cluster_.suspects(pid)) {
+        if (cluster_.detect(pid, suspect).has_value()) ++detections_;
+      }
+    }
+  }
+}
+
+void GcDaemon::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+}  // namespace rgc::core

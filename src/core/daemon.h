@@ -1,0 +1,58 @@
+// GcDaemon — the "from time to time" of the paper, made concrete.
+//
+// §2.2.3: "From time to time, possibly after a local collection, the ADGC
+// sends a message NewSetStubs…"; §3.5: "periodically, each process stores
+// a snapshot of its internal object graph".  The daemon drives exactly
+// that cadence on virtual time: every `collect_period` steps a process
+// runs LGC + the acyclic protocol; every `snapshot_period` steps it takes
+// a fresh snapshot and starts detections on the current suspects.  Each
+// process's schedule is staggered by its id (decentralization: nothing
+// ever lines the processes up), and the mutator keeps running throughout
+// — the daemon never stops the world.
+//
+//   rgc::core::Cluster cluster;
+//   rgc::core::GcDaemon daemon{cluster, {}};
+//   ... mutate ...
+//   daemon.run(200);        // 200 simulation steps with background GC
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.h"
+
+namespace rgc::core {
+
+struct DaemonConfig {
+  /// Steps between local collections per process.
+  std::uint64_t collect_period{8};
+  /// Steps between snapshot + detection sweeps per process.
+  std::uint64_t snapshot_period{24};
+  /// Offset each process's schedule by id * stagger steps.
+  std::uint64_t stagger{1};
+};
+
+class GcDaemon {
+ public:
+  GcDaemon(Cluster& cluster, DaemonConfig config = {});
+
+  /// Advances the cluster one step and runs whatever GC work is due.
+  void step();
+
+  /// step(), `steps` times.
+  void run(std::uint64_t steps);
+
+  [[nodiscard]] std::uint64_t collections() const noexcept { return collections_; }
+  [[nodiscard]] std::uint64_t sweeps() const noexcept { return sweeps_; }
+  [[nodiscard]] std::uint64_t detections_started() const noexcept {
+    return detections_;
+  }
+
+ private:
+  Cluster& cluster_;
+  DaemonConfig config_;
+  std::uint64_t collections_{0};
+  std::uint64_t sweeps_{0};
+  std::uint64_t detections_{0};
+};
+
+}  // namespace rgc::core

@@ -1,0 +1,133 @@
+#include "core/oracle.h"
+
+#include <deque>
+#include <map>
+
+namespace rgc::core {
+
+std::set<ObjectId> OracleReport::garbage_objects() const {
+  std::set<ObjectId> out;
+  for (ObjectId id : existing_objects) {
+    if (!live_objects.contains(id)) out.insert(id);
+  }
+  return out;
+}
+
+OracleReport Oracle::analyze(const Cluster& cluster) {
+  OracleReport report;
+
+  // Union-of-replicas edge map: logical object -> every object any of its
+  // replicas references, plus the rooted set.
+  std::map<ObjectId, std::set<ObjectId>> edges;
+  std::set<ObjectId> rooted;
+
+  for (ProcessId pid : cluster.process_ids()) {
+    const rm::Process& proc = cluster.process(pid);
+    for (const auto& [id, obj] : proc.heap().objects()) {
+      report.existing_objects.insert(id);
+      report.replicas.insert(Replica{id, pid});
+      for (const rm::Ref& r : obj.refs) edges[id].insert(r.target);
+    }
+    for (ObjectId root : proc.heap().roots()) rooted.insert(root);
+    for (const auto& [obj, ttl] : proc.transient_roots()) rooted.insert(obj);
+  }
+
+  // Liveness closure (the Union Rule evaluated globally).
+  std::deque<ObjectId> work(rooted.begin(), rooted.end());
+  while (!work.empty()) {
+    const ObjectId cur = work.front();
+    work.pop_front();
+    if (!report.live_objects.insert(cur).second) continue;
+    auto it = edges.find(cur);
+    if (it == edges.end()) continue;
+    for (ObjectId next : it->second) work.push_back(next);
+  }
+
+  // Safety invariant 1: a live object must still exist somewhere.
+  for (ObjectId id : report.live_objects) {
+    if (!report.existing_objects.contains(id)) {
+      report.violations.push_back("live object lost: " + to_string(id));
+    }
+  }
+
+  // Safety invariant 2: live paths must resolve.  Per process, trace from
+  // its roots through local replicas; every reference reached must resolve
+  // to a local replica or through a stub–scion *chain* (§2.2.4: chains of
+  // stub–scion pairs are legal) ending at an existing remote replica.
+  auto resolves_through_chain = [&cluster](ObjectId target, ProcessId from) {
+    std::set<ProcessId> visited;
+    std::deque<ProcessId> frontier{from};
+    while (!frontier.empty()) {
+      const ProcessId at = frontier.front();
+      frontier.pop_front();
+      if (!visited.insert(at).second) continue;
+      const rm::Process& node = cluster.process(at);
+      if (node.has_replica(target)) return true;
+      for (const rm::StubKey& key : node.stubs_for(target)) {
+        frontier.push_back(key.target_process);
+      }
+    }
+    return false;
+  };
+  for (ProcessId pid : cluster.process_ids()) {
+    const rm::Process& proc = cluster.process(pid);
+    std::set<ObjectId> seen;
+    std::deque<ObjectId> local;
+    auto visit_target = [&](ObjectId target) {
+      if (proc.has_replica(target)) {
+        if (!seen.contains(target)) local.push_back(target);
+        return;
+      }
+      if (proc.stubs_for(target).empty()) {
+        report.violations.push_back("unresolvable live reference to " +
+                                    to_string(target) + " on " +
+                                    to_string(pid));
+        return;
+      }
+      if (!resolves_through_chain(target, pid)) {
+        report.violations.push_back("dangling live stub for " +
+                                    to_string(target) + " on " +
+                                    to_string(pid));
+      }
+    };
+    for (ObjectId root : proc.heap().roots()) visit_target(root);
+    for (const auto& [obj, ttl] : proc.transient_roots()) visit_target(obj);
+    while (!local.empty()) {
+      const ObjectId cur = local.front();
+      local.pop_front();
+      if (!seen.insert(cur).second) continue;
+      const rm::Object* obj = proc.heap().find(cur);
+      if (obj == nullptr) continue;
+      for (const rm::Ref& r : obj->refs) visit_target(r.target);
+    }
+  }
+
+  return report;
+}
+
+bool Oracle::fully_collected(const Cluster& cluster,
+                             const OracleReport& report) {
+  const std::set<ObjectId> garbage = report.garbage_objects();
+  if (!garbage.empty()) return false;
+
+  // No GC structure may keep naming a dead object either.
+  std::set<ObjectId> existing = report.existing_objects;
+  for (ProcessId pid : cluster.process_ids()) {
+    const rm::Process& proc = cluster.process(pid);
+    for (const auto& e : proc.in_props()) {
+      if (!report.live_objects.contains(e.object)) return false;
+    }
+    for (const auto& e : proc.out_props()) {
+      if (!report.live_objects.contains(e.object)) return false;
+    }
+    for (const auto& [key, scion] : proc.scions()) {
+      if (!report.live_objects.contains(key.anchor) &&
+          existing.contains(key.anchor)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rgc::core

@@ -1,0 +1,62 @@
+// Omniscient global-reachability oracle — the test harness's ground truth.
+//
+// The oracle sees every process at once (something no real collector can)
+// and computes:
+//  - the set of *live logical objects*: the closure of all local roots over
+//    the union of every replica's reference lists — exactly the Union Rule
+//    (§2.2.1) evaluated globally;
+//  - referential-integrity violations: live paths ending in references that
+//    no longer resolve (dangling stubs / lost replicas).
+//
+// Safety property  : the collectors never reclaim the last replica of a
+//                    live object and never leave a live path dangling.
+// Completeness     : after mutation stops, run_full_gc() reclaims every
+//                    replica of every dead object, with all of its
+//                    stubs/scions/prop entries.
+// Property-based tests drive random workloads and check both against this
+// oracle after every round.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "util/ids.h"
+
+namespace rgc::core {
+
+struct OracleReport {
+  /// Logical objects reachable from some root under the Union Rule.
+  std::set<ObjectId> live_objects;
+  /// Logical objects with at least one replica anywhere.
+  std::set<ObjectId> existing_objects;
+  /// Replicas present in the cluster.
+  std::set<Replica> replicas;
+  /// Human-readable invariant violations (empty == healthy).
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool object_exists(ObjectId id) const {
+    return existing_objects.contains(id);
+  }
+  [[nodiscard]] bool is_live(ObjectId id) const {
+    return live_objects.contains(id);
+  }
+  /// Dead-but-present objects: what a complete GC must eventually reclaim.
+  [[nodiscard]] std::set<ObjectId> garbage_objects() const;
+};
+
+class Oracle {
+ public:
+  /// Analyzes the cluster's current state.  Messages still in flight count
+  /// as pending mutations; call cluster.run_until_quiescent() first when a
+  /// stable verdict is needed.
+  [[nodiscard]] static OracleReport analyze(const Cluster& cluster);
+
+  /// True when no replica, stub, scion or prop entry of any dead object
+  /// remains anywhere (the completeness post-condition).
+  [[nodiscard]] static bool fully_collected(const Cluster& cluster,
+                                            const OracleReport& report);
+};
+
+}  // namespace rgc::core

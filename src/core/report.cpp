@@ -1,0 +1,90 @@
+#include "core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rgc::core {
+namespace {
+
+/// GC-relevant counter prefixes worth surfacing in the aggregate view.
+bool interesting_counter(const std::string& name) {
+  return name.starts_with("lgc.") || name.starts_with("adgc.") ||
+         name.starts_with("cycle.") || name.starts_with("baseline.");
+}
+
+}  // namespace
+
+ClusterReport make_report(const Cluster& cluster) {
+  ClusterReport report;
+  report.now = cluster.now();
+  report.cycles_found = cluster.cycles_found().size();
+
+  std::map<std::string, std::uint64_t> gc_totals;
+  for (ProcessId pid : cluster.process_ids()) {
+    const rm::Process& proc = cluster.process(pid);
+    ProcessReport row;
+    row.process = pid;
+    row.objects = proc.heap().size();
+    row.roots = proc.heap().roots().size();
+    row.stubs = proc.stubs().size();
+    row.scions = proc.scions().size();
+    row.in_props = proc.in_props().size();
+    row.out_props = proc.out_props().size();
+    row.collections = proc.metrics().get("lgc.collections");
+    row.reclaimed = proc.metrics().get("lgc.reclaimed");
+    report.processes.push_back(row);
+
+    for (const auto& [name, value] : proc.metrics().snapshot()) {
+      if (value != 0 && interesting_counter(name)) gc_totals[name] += value;
+    }
+  }
+  report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
+
+  for (const auto& [name, value] : cluster.network().metrics().snapshot()) {
+    constexpr std::string_view kSentPrefix = "net.sent.";
+    if (value != 0 && name.starts_with(kSentPrefix)) {
+      report.traffic.emplace_back(name.substr(kSentPrefix.size()), value);
+    }
+  }
+  return report;
+}
+
+std::string ClusterReport::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ClusterReport& report) {
+  os << "cluster @ step " << report.now << ", cycles proven "
+     << report.cycles_found << "\n";
+  os << "  proc  objects  roots  stubs  scions  inprops  outprops  "
+        "collections  reclaimed\n";
+  for (const ProcessReport& row : report.processes) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-5s %8zu %6zu %6zu %7zu %8zu %9zu %12llu %10llu\n",
+                  to_string(row.process).c_str(), row.objects, row.roots,
+                  row.stubs, row.scions, row.in_props, row.out_props,
+                  static_cast<unsigned long long>(row.collections),
+                  static_cast<unsigned long long>(row.reclaimed));
+    os << line;
+  }
+  if (!report.traffic.empty()) {
+    os << "  traffic:";
+    for (const auto& [kind, count] : report.traffic) {
+      os << " " << kind << "=" << count;
+    }
+    os << "\n";
+  }
+  if (!report.gc_counters.empty()) {
+    os << "  gc:";
+    for (const auto& [name, value] : report.gc_counters) {
+      os << " " << name << "=" << value;
+    }
+    os << "\n";
+  }
+  return os;
+}
+
+}  // namespace rgc::core

@@ -1,0 +1,46 @@
+// Human-readable cluster reporting: per-process state tables, message
+// traffic, GC counters.  Examples and the CLI simulator print these; tests
+// assert on the structured variant.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace rgc::core {
+
+/// One process's row of the state table.
+struct ProcessReport {
+  ProcessId process{kNoProcess};
+  std::size_t objects{0};
+  std::size_t roots{0};
+  std::size_t stubs{0};
+  std::size_t scions{0};
+  std::size_t in_props{0};
+  std::size_t out_props{0};
+  std::uint64_t collections{0};
+  std::uint64_t reclaimed{0};
+};
+
+struct ClusterReport {
+  std::uint64_t now{0};
+  std::vector<ProcessReport> processes;
+  /// Messages sent per kind, network-wide.
+  std::vector<std::pair<std::string, std::uint64_t>> traffic;
+  /// Aggregated GC counters (cycle.*, adgc.*, lgc.* sums).
+  std::vector<std::pair<std::string, std::uint64_t>> gc_counters;
+  std::uint64_t cycles_found{0};
+
+  /// Fixed-width table rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ClusterReport& report);
+
+/// Captures the cluster's current state.
+[[nodiscard]] ClusterReport make_report(const Cluster& cluster);
+
+}  // namespace rgc::core

@@ -1,0 +1,74 @@
+#include "gc/cycle/cdm.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rgc::gc {
+
+std::string to_string(const Element& e) {
+  if (e.tag == Element::Kind::kReplica) return rgc::to_string(e.replica);
+  return rgc::to_string(e.holder) + "->" + rgc::to_string(e.replica);
+}
+
+bool Cdm::observe(Observation obs) {
+  for (const Observation& prev : observations) {
+    if (prev.link == obs.link && prev.counter != obs.counter) return false;
+  }
+  observations.push_back(std::move(obs));
+  return true;
+}
+
+void Cdm::require(const Element& from, const Element& on, bool prop) {
+  (prop ? prop_deps : ref_deps).insert(on);
+  const std::pair<Element, Element> edge{from, on};
+  if (std::find(dep_edges.begin(), dep_edges.end(), edge) == dep_edges.end()) {
+    dep_edges.push_back(edge);
+  }
+}
+
+util::FlatSet<Element> Cdm::required_closure() const {
+  util::FlatSet<Element> closure;
+  std::vector<Element> work{Element::make(candidate)};
+  closure.insert(work.front());
+  while (!work.empty()) {
+    const Element cur = work.back();
+    work.pop_back();
+    for (const auto& [from, on] : dep_edges) {
+      if (from == cur && closure.insert(on)) work.push_back(on);
+    }
+  }
+  return closure;
+}
+
+util::FlatSet<Element> Cdm::unresolved() const {
+  return required_closure().difference(targets);
+}
+
+util::FlatSet<Element> Cdm::flat_unresolved() const {
+  util::FlatSet<Element> u = prop_deps.difference(targets);
+  u.merge(ref_deps.difference(targets));
+  return u;
+}
+
+std::string Cdm::to_string() const {
+  std::ostringstream os;
+  auto emit = [&os](const util::FlatSet<Element>& set) {
+    os << "{";
+    bool first = true;
+    for (const Element& e : set) {
+      if (!first) os << ", ";
+      first = false;
+      os << gc::to_string(e);
+    }
+    os << "}";
+  };
+  os << "{ ";
+  emit(prop_deps);
+  os << ", ";
+  emit(ref_deps);
+  os << " } -> ";
+  emit(targets);
+  return os.str();
+}
+
+}  // namespace rgc::gc

@@ -1,0 +1,529 @@
+#include "gc/cycle/detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rgc::gc {
+
+CycleDetector::CycleDetector(rm::Process& process, DetectorConfig config)
+    : process_(process), config_(config) {}
+
+void CycleDetector::take_snapshot() {
+  summary_ = summarize(process_);
+  seen_entries_.clear();
+  process_.metrics().add("cycle.snapshots");
+}
+
+void CycleDetector::adopt_snapshot(ProcessSummary summary) {
+  if (summary.process != process_.id()) {
+    throw std::invalid_argument("adopt_snapshot: summary belongs to " +
+                                to_string(summary.process) + ", not " +
+                                to_string(process_.id()));
+  }
+  summary_ = std::move(summary);
+  seen_entries_.clear();
+  process_.metrics().add("cycle.snapshots_adopted");
+}
+
+bool CycleDetector::subsumed(std::uint64_t detection, ObjectId entry,
+                             const util::FlatSet<Element>& targets) {
+  auto& prior = seen_entries_[{detection, entry}];
+  for (const auto& t : prior) {
+    if (targets.subset_of(t)) return true;
+  }
+  prior.push_back(targets);
+  return false;
+}
+
+std::optional<std::uint64_t> CycleDetector::start_detection(ObjectId candidate) {
+  if (!summary_.has_value()) return std::nullopt;
+  const ProcessId self = process_.id();
+
+  // The candidate must be visible to the snapshot as a scion anchor or a
+  // replicated object; anything else has no incoming remote dependency and
+  // cannot head a *distributed* garbage cycle.
+  const bool known = summary_->replicas.contains(candidate) ||
+                     !summary_->scions_anchored_at(candidate).empty();
+  if (!known) return std::nullopt;
+
+  Cdm cdm;
+  cdm.detection_id = (static_cast<std::uint64_t>(raw(self)) << 32) | ++next_serial_;
+  cdm.candidate = Replica{candidate, self};
+  // The candidate seeds the reference-dependency set (the paper's Alg0:
+  // {{}, {X_P1}} -> {}); it enters the target set only when the detection
+  // returns to it, which is what closes the loop.
+  cdm.ref_deps.insert(Element::make(cdm.candidate));
+
+  std::vector<rm::StubKey> remote_out;
+  const Visit v = examine(cdm, candidate, /*as_start=*/true, remote_out);
+  if (v != Visit::kOk) {
+    record_abort(v);
+    return std::nullopt;
+  }
+  process_.metrics().add("cycle.detections_started");
+  conclude(cdm, remote_out);
+  return cdm.detection_id;
+}
+
+void CycleDetector::on_cdm(const net::Envelope& env, const CdmMsg& msg) {
+  process_.metrics().add("cycle.cdms_received");
+  if (!summary_.has_value()) {
+    // Safety rule 1 (§3.5.2): our snapshot is not current enough to pair
+    // with the sender's — ignore the CDM.
+    process_.metrics().add("cycle.drops_no_snapshot");
+    return;
+  }
+  (void)env;
+  if (subsumed(msg.cdm.detection_id, msg.entry, msg.cdm.targets)) {
+    process_.metrics().add("cycle.drops_subsumed");
+    return;
+  }
+  RGC_DEBUG("cycle: ", to_string(process_.id()), " <- CDM",
+            msg.forwarded ? " (forwarded)" : "", " entry ",
+            to_string(msg.entry),
+            msg.via == EntryVia::kProp ? " via prop " : " via ref ",
+            msg.cdm.to_string());
+  Cdm cdm = msg.cdm;
+  std::vector<rm::StubKey> remote_out;
+  const Visit v = examine(cdm, msg.entry, /*as_start=*/false, remote_out);
+  if (v != Visit::kOk) {
+    record_abort(v);
+    return;
+  }
+  conclude(cdm, remote_out);
+}
+
+bool CycleDetector::locally_live(ObjectId obj) const {
+  const ProcessSummary& s = *summary_;
+  if (auto it = s.replicas.find(obj); it != s.replicas.end()) {
+    if (it->second.local_reach) return true;
+  }
+  for (const rm::ScionKey& key : s.scions_anchored_at(obj)) {
+    if (s.scions.at(key).local_reach) return true;
+  }
+  return false;
+}
+
+CycleDetector::Visit CycleDetector::examine(Cdm& cdm, ObjectId obj,
+                                            bool as_start,
+                                            std::vector<rm::StubKey>& remote_out) {
+  const ProcessId self = process_.id();
+  const ProcessSummary& s = *summary_;
+
+  const auto scion_keys = s.scions_anchored_at(obj);
+  const auto rep_it = s.replicas.find(obj);
+  const bool replicated = rep_it != s.replicas.end();
+
+  if (scion_keys.empty() && !replicated) {
+    // Safety rule 1: the snapshot does not know the entity the CDM is
+    // about (older than the reference/propagation that created it).
+    return Visit::kUnknownEntity;
+  }
+
+  // Liveness gate before any CDM mutation, so callers may treat an abort
+  // as "not examined" (nothing half-recorded).
+  if (locally_live(obj)) return Visit::kAbortLive;
+
+  if (!as_start) {
+    cdm.targets.insert(Element::make(Replica{obj, self}));
+  }
+
+  util::FlatSet<ObjectId> local_cont;
+  util::FlatSet<ObjectId> ancestor_cont;
+  std::vector<rm::StubKey> stub_cont;
+
+  for (const rm::ScionKey& key : scion_keys) {
+    const ScionSummary& ss = s.scions.at(key);
+    const RefLink link{key.src_process, obj, self};
+    if (!as_start) {
+      if (!cdm.observe({link, ss.ic})) return Visit::kAbortRace;
+      const Element me = Element::make(Replica{obj, self});
+      cdm.require(me, Element::make(link), /*prop=*/false);
+      // Anchor-level incoming context: local scions / replicated objects
+      // that lead to this anchor must be proven dead too.
+      for (const rm::ScionKey& up_key : ss.scions_to) {
+        const ScionSummary& up = s.scions.at(up_key);
+        const RefLink up_link{up_key.src_process, up_key.anchor, self};
+        if (!cdm.observe({up_link, up.ic})) return Visit::kAbortRace;
+        cdm.require(me, Element::make(up_link), /*prop=*/false);
+      }
+      for (ObjectId via : ss.replicas_to) {
+        cdm.require(me, Element::make(Replica{via, self}), /*prop=*/false);
+        ancestor_cont.insert(via);
+      }
+    }
+    local_cont.merge(ss.replicas_from);
+    for (const rm::StubKey& sk : ss.stubs_from) stub_cont.push_back(sk);
+  }
+
+  if (replicated) {
+    const ReplicaSummary& rs = rep_it->second;
+
+    // Union Rule in algebra form: every replica of obj is a dependency.
+    // Children are queued for forwarding ahead of parents (§3.3 policy);
+    // config_.children_first flips the order for the ablation study.
+    std::vector<Replica> children;
+    std::vector<Replica> parents;
+    const Element me = Element::make(Replica{obj, self});
+    for (const PropEntrySummary& e : rs.out_props) {
+      const PropLink link{obj, self, e.process};
+      if (!cdm.observe({link, e.uc})) return Visit::kAbortRace;
+      const Replica child{obj, e.process};
+      cdm.require(me, Element::make(child), /*prop=*/true);
+      children.push_back(child);
+    }
+    for (const PropEntrySummary& e : rs.in_props) {
+      const PropLink link{obj, e.process, self};
+      if (!cdm.observe({link, e.uc})) return Visit::kAbortRace;
+      const Replica parent{obj, e.process};
+      cdm.require(me, Element::make(parent), /*prop=*/true);
+      parents.push_back(parent);
+    }
+    auto& first = config_.children_first ? children : parents;
+    auto& second = config_.children_first ? parents : children;
+    cdm.forward_first.insert(cdm.forward_first.end(), first.begin(), first.end());
+    cdm.forward_last.insert(cdm.forward_last.end(), second.begin(), second.end());
+
+    if (!as_start) {
+      // Incoming local context: scions and replicated objects leading to
+      // this replica must be proven dead too.
+      for (const rm::ScionKey& key : rs.scions_to) {
+        const ScionSummary& ss = s.scions.at(key);
+        const RefLink link{key.src_process, key.anchor, self};
+        if (!cdm.observe({link, ss.ic})) return Visit::kAbortRace;
+        cdm.require(me, Element::make(link), /*prop=*/false);
+      }
+      for (ObjectId via : rs.replicas_to) {
+        cdm.require(me, Element::make(Replica{via, self}), /*prop=*/false);
+        ancestor_cont.insert(via);
+      }
+    }
+
+    local_cont.merge(rs.replicas_from);
+    for (const rm::StubKey& sk : rs.stubs_from) stub_cont.push_back(sk);
+  }
+
+  // Remote continuations first: cross every outgoing stub of this entity —
+  // the crossings (dependency context + target-set entries) are *shared*
+  // state every branch forked below must carry, or a sibling branch could
+  // never resolve the link dependency the remote scion will raise.
+  std::sort(stub_cont.begin(), stub_cont.end());
+  stub_cont.erase(std::unique(stub_cont.begin(), stub_cont.end()),
+                  stub_cont.end());
+  util::FlatSet<ObjectId> stub_ancestors;
+  for (const rm::StubKey& key : stub_cont) {
+    const Visit v = examine_stub(cdm, key, remote_out, stub_ancestors);
+    if (v != Visit::kOk) return v;
+  }
+
+  // Local *ancestors*: replicated objects on this process that lead to an
+  // examined entity are dependencies — and, being in the very snapshot at
+  // hand, they can be examined right away instead of hoping a forward path
+  // happens to reach them (without this, garbage whose incoming side is
+  // not forward-reachable from any candidate would never resolve).  A live
+  // ancestor is skipped — its dependency stays open, which is exactly
+  // right: nothing referenced by a live object may be condemned.
+  ancestor_cont.merge(stub_ancestors);
+  for (ObjectId anc : ancestor_cont) {
+    if (anc == obj) continue;
+    if (cdm.targets.contains(Element::make(Replica{anc, self}))) continue;
+    if (locally_live(anc)) {
+      process_.metrics().add("cycle.live_ancestor_skips");
+      continue;
+    }
+    const Visit v = examine(cdm, anc, /*as_start=*/false, remote_out);
+    if (v == Visit::kAbortRace) return v;
+  }
+
+  // Local forward continuations (the paper's ReplicasFrom hops).  One
+  // viable continuation merges into this CDM; several fork one CDM branch
+  // each (§3.4's multiple detection paths).  Forking matters beyond
+  // economy: a branch that wanders into a replica of a remotely-live
+  // object accumulates unresolvable dependencies, and isolation keeps that
+  // poison out of the sibling branch that actually closes the cycle.
+  std::vector<ObjectId> viable;
+  for (ObjectId next : local_cont) {
+    // A candidate's seeding pass must not examine the candidate itself —
+    // the loop closes only when the detection *returns* to it (§3.3).
+    if (next == obj) continue;
+    if (cdm.targets.contains(Element::make(Replica{next, self}))) continue;
+    if (locally_live(next)) {
+      // Garbage may legally reference live data; the live object simply is
+      // not part of any garbage cycle — the traversal ends here, without
+      // condemning the track ("when a locally reachable object is found,
+      // the tracing along that reference path ends", §2.2.2).
+      process_.metrics().add("cycle.live_continuation_skips");
+      continue;
+    }
+    viable.push_back(next);
+  }
+  if (viable.size() == 1) {
+    const Visit v = examine(cdm, viable.front(), /*as_start=*/false, remote_out);
+    if (v != Visit::kOk && v != Visit::kUnknownEntity) return v;
+  } else {
+    for (ObjectId next : viable) {
+      // Each branch carries the shared crossings but owns only its local
+      // path; the trunk keeps the reference sends (one copy each).
+      Cdm branch = cdm;
+      std::vector<rm::StubKey> branch_out;
+      process_.metrics().add("cycle.local_forks");
+      const Visit v = examine(branch, next, /*as_start=*/false, branch_out);
+      if (v == Visit::kAbortRace) {
+        record_abort(v);
+        continue;  // this branch dies; its siblings live on
+      }
+      if (v == Visit::kOk) conclude(branch, branch_out);
+    }
+  }
+  return Visit::kOk;
+}
+
+CycleDetector::Visit CycleDetector::examine_stub(
+    Cdm& cdm, const rm::StubKey& key, std::vector<rm::StubKey>& remote_out,
+    util::FlatSet<ObjectId>& ancestors_out) {
+  const ProcessId self = process_.id();
+  const ProcessSummary& s = *summary_;
+  const RefLink link{self, key.target, key.target_process};
+  const Element link_el = Element::make(link);
+  if (cdm.targets.contains(link_el)) return Visit::kOk;  // already crossed
+
+  const StubSummary& ts = s.stubs.at(key);
+  if (ts.local_reach) {
+    // The remote target is reachable from our local roots through this
+    // very reference: it is live.  The link dependency must stay
+    // unresolved (skipping is required for safety, not an optimization —
+    // the target side cannot see our roots).
+    process_.metrics().add("cycle.live_stub_skips");
+    return Visit::kOk;
+  }
+  if (!cdm.observe({link, ts.ic})) return Visit::kAbortRace;
+
+  // Crossing the link resolves the dependency the remote scion raises —
+  // but only after the local context of the stub is accounted for:
+  for (const rm::ScionKey& sk : ts.scions_to) {
+    const ScionSummary& ss = s.scions.at(sk);
+    const RefLink up{sk.src_process, sk.anchor, self};
+    if (!cdm.observe({up, ss.ic})) return Visit::kAbortRace;
+    cdm.require(link_el, Element::make(up), /*prop=*/false);
+  }
+  for (ObjectId via : ts.replicas_to) {
+    cdm.require(link_el, Element::make(Replica{via, self}), /*prop=*/false);
+    ancestors_out.insert(via);
+  }
+  cdm.targets.insert(link_el);
+
+  // Loop prevention: do not re-enter a replica the detection has already
+  // visited ("since B'_P2 is already in the target set ... this cycle
+  // detection track is stopped").
+  if (!cdm.targets.contains(
+          Element::make(Replica{key.target, key.target_process}))) {
+    remote_out.push_back(key);
+  }
+  return Visit::kOk;
+}
+
+void CycleDetector::conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_out) {
+  const ProcessId self = process_.id();
+
+  if (cdm.cycle_complete()) {
+    process_.metrics().add("cycle.cycles_found");
+    RGC_INFO("cycle: ", to_string(self), " proved garbage cycle headed by ",
+             to_string(cdm.candidate), " :: ", cdm.to_string());
+    if (on_cycle_found) on_cycle_found(cdm);
+    return;
+  }
+
+  // Stash this examination's reference continuations; whether they are sent
+  // now or later depends on the traversal policy below.
+  for (const rm::StubKey& key : remote_out) {
+    const Replica target{key.target, key.target_process};
+    if (std::find(cdm.pending_refs.begin(), cdm.pending_refs.end(), target) ==
+        cdm.pending_refs.end()) {
+      cdm.pending_refs.push_back(target);
+    }
+  }
+
+  auto next_forward = [&](const std::vector<Replica>& queue) -> const Replica* {
+    for (const Replica& dest : queue) {
+      if (dest.process == self) continue;  // local replicas were examined
+      if (cdm.targets.contains(Element::make(dest))) continue;
+      return &dest;
+    }
+    return nullptr;
+  };
+  auto forward_to = [&](const Replica& dest) {
+    auto msg = std::make_unique<CdmMsg>();
+    msg->cdm = cdm;
+    msg->entry = dest.object;
+    msg->via = EntryVia::kProp;
+    msg->forwarded = true;
+    process_.network().send(self, dest.process, std::move(msg));
+    process_.metrics().add("cycle.cdms_sent");
+    process_.metrics().add("cycle.forwards");
+  };
+  auto send_refs = [&]() -> bool {
+    // Fork one CDM per unresolved reference target (§3.4's multiple
+    // detection paths).
+    std::vector<Replica> sends;
+    for (const Replica& target : cdm.pending_refs) {
+      if (cdm.targets.contains(Element::make(target))) continue;
+      if (std::find(sends.begin(), sends.end(), target) == sends.end()) {
+        sends.push_back(target);
+      }
+    }
+    if (sends.empty()) return false;
+    cdm.pending_refs.clear();
+    for (const Replica& target : sends) {
+      auto msg = std::make_unique<CdmMsg>();
+      msg->cdm = cdm;
+      msg->entry = target.object;
+      msg->via = EntryVia::kRef;
+      process_.network().send(self, target.process, std::move(msg));
+      process_.metrics().add("cycle.cdms_sent");
+    }
+    return true;
+  };
+
+  if (config_.defer_props) {
+    // Per-link traversal (Table 2's absolute accounting): references
+    // first, propagation forwards only once no reference remains.
+    if (send_refs()) return;
+    if (const Replica* dest = next_forward(cdm.forward_first)) {
+      forward_to(*dest);
+      return;
+    }
+    if (const Replica* dest = next_forward(cdm.forward_last)) {
+      forward_to(*dest);
+      return;
+    }
+  } else {
+    // §3.3 priority 1 — child replicas: forward (no recomputation) to the
+    // first unresolved one; reference sends wait in pending_refs.
+    if (const Replica* child = next_forward(cdm.forward_first)) {
+      forward_to(*child);
+      return;
+    }
+    // Priority 2 — references.
+    if (send_refs()) return;
+    // Priority 3 — parents: "only when a child replica believes it
+    // belongs to a distributed cycle of garbage, it forwards its CDM to
+    // its parent".
+    if (const Replica* parent = next_forward(cdm.forward_last)) {
+      forward_to(*parent);
+      return;
+    }
+  }
+
+  process_.metrics().add("cycle.tracks_ended");
+  RGC_DEBUG("cycle: ", to_string(self), " track ended for ",
+            to_string(cdm.candidate), ", unresolved ",
+            util::detail::concat([&] {
+              std::string s;
+              for (const Element& e : cdm.unresolved()) {
+                s += to_string(e) + " ";
+              }
+              return s;
+            }()));
+}
+
+CutMsg CycleDetector::make_cut(const Cdm& cdm) {
+  CutMsg cut;
+  cut.candidate = cdm.candidate.object;
+  cut.detection_id = cdm.detection_id;
+  for (const Observation& obs : cdm.observations) {
+    // The same link is legitimately observed at both of its ends (with, by
+    // construction of a completed detection, equal counters) — dedupe.
+    if (const auto* ref = std::get_if<RefLink>(&obs.link)) {
+      if (ref->target == cdm.candidate.object &&
+          ref->target_process == cdm.candidate.process) {
+        const std::pair<rm::ScionKey, std::uint64_t> entry{
+            rm::ScionKey{ref->holder, ref->target}, obs.counter};
+        if (std::find(cut.scion_cuts.begin(), cut.scion_cuts.end(), entry) ==
+            cut.scion_cuts.end()) {
+          cut.scion_cuts.push_back(entry);
+        }
+      }
+    } else if (const auto* prop = std::get_if<PropLink>(&obs.link)) {
+      if (prop->object == cdm.candidate.object &&
+          prop->child == cdm.candidate.process) {
+        const std::pair<ProcessId, std::uint64_t> entry{prop->parent,
+                                                        obs.counter};
+        if (std::find(cut.prop_cuts.begin(), cut.prop_cuts.end(), entry) ==
+            cut.prop_cuts.end()) {
+          cut.prop_cuts.push_back(entry);
+        }
+      }
+    }
+  }
+  return cut;
+}
+
+void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
+  (void)env;
+  auto& scions = process_.scions();
+  for (const auto& [key, expected_ic] : msg.scion_cuts) {
+    auto it = scions.find(key);
+    if (it == scions.end()) continue;  // another verdict got here first
+    if (it->second.ic != expected_ic) {
+      // An invocation landed after the detection's snapshots: the proof no
+      // longer covers reality — skip, never misapply (safety over progress).
+      process_.metrics().add("cycle.cuts_stale");
+      continue;
+    }
+    scions.erase(it);
+    process_.metrics().add("cycle.scions_cut");
+  }
+  for (const auto& [parent, expected_uc] : msg.prop_cuts) {
+    rm::InProp* e = process_.find_in_prop(msg.candidate, parent);
+    if (e == nullptr) continue;
+    if (e->uc != expected_uc) {
+      process_.metrics().add("cycle.cuts_stale");
+      continue;
+    }
+    auto& ins = process_.in_props();
+    ins.erase(std::remove_if(ins.begin(), ins.end(),
+                             [&](const rm::InProp& x) {
+                               return x.object == msg.candidate &&
+                                      x.process == parent;
+                             }),
+              ins.end());
+    auto cut = std::make_unique<PropCutMsg>();
+    cut->object = msg.candidate;
+    cut->expected_uc = expected_uc;
+    process_.network().send(process_.id(), parent, std::move(cut));
+    process_.metrics().add("cycle.props_cut");
+  }
+}
+
+void CycleDetector::on_prop_cut(const net::Envelope& env, const PropCutMsg& msg) {
+  rm::OutProp* e = process_.find_out_prop(msg.object, env.src);
+  if (e == nullptr || e->uc != msg.expected_uc) return;
+  auto& outs = process_.out_props();
+  outs.erase(std::remove_if(outs.begin(), outs.end(),
+                            [&](const rm::OutProp& x) {
+                              return x.object == msg.object &&
+                                     x.process == env.src;
+                            }),
+             outs.end());
+  process_.metrics().add("cycle.outprops_cut");
+}
+
+void CycleDetector::record_abort(Visit v) {
+  switch (v) {
+    case Visit::kAbortLive:
+      process_.metrics().add("cycle.aborts_live");
+      break;
+    case Visit::kAbortRace:
+      process_.metrics().add("cycle.aborts_race");
+      break;
+    case Visit::kUnknownEntity:
+      process_.metrics().add("cycle.drops_unknown_entity");
+      break;
+    case Visit::kOk:
+      break;
+  }
+}
+
+}  // namespace rgc::gc

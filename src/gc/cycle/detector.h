@@ -1,0 +1,141 @@
+// Replication-aware asynchronous cycle detector (§3) — the paper's core
+// contribution.
+//
+// One detector instance runs per process, entirely on local snapshot
+// summaries; processes cooperate only through CDMs.  A detection starts at
+// a suspect replica and walks the distributed graph:
+//
+//   examine(replica R at P):
+//     - abort the track if R (or any scion anchored at it) is reachable
+//       from P's local roots — live objects end detections immediately;
+//     - R joins the CDM's target set;
+//     - every scion anchored at R contributes its reference link to the
+//       reference-dependency set (those incoming references must be proven
+//       dead before R may be declared cyclic garbage);
+//     - R's inProp/outProp partners join the propagation-dependency set —
+//       the Union Rule in algebra form: every replica of R must fall;
+//     - continuations: ReplicasFrom (examined locally, in the same CDM) and
+//       StubsFrom (a CDM per remote target).  Stubs are examined on the way
+//       out: their ScionsTo/ReplicasTo become dependencies of the remote
+//       target and the link itself joins the target set, resolving the
+//       dependency the remote scion will raise;
+//     - when no reference continuation exists, the CDM is *forwarded* (no
+//       recomputation) to an unresolved propagation dependency — child
+//       replicas before parents (§3.3's traversal policy, and the reason
+//       our detector floods less than the replication-blind baseline);
+//     - matching: when every dependency appears in the target set, a
+//       garbage cycle is proven; the candidate's recorded incoming
+//       dependencies (scions / prop links) are cut, and the acyclic
+//       machinery reclaims the whole cycle.
+//
+// Race barrier (§3.5): every examination records the snapshot's invocation
+// or update counter for the links it crosses; a disagreement between two
+// observations of the same link means a mutator or the coherence engine
+// moved behind the detector's back — the track aborts (optimistic scheme:
+// applications never block, a detection is merely wasted).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gc/cycle/cdm.h"
+#include "gc/cycle/summary.h"
+#include "rm/process.h"
+#include "util/ids.h"
+
+namespace rgc::gc {
+
+struct DetectorConfig {
+  /// Forwarding order: child replicas before parents (paper policy).
+  /// Ablation: false forwards to parents first.
+  bool children_first{true};
+  /// Continuation priority.  Default (false): child replicas are woven
+  /// into the traversal ahead of reference sends — each CDM hop covers a
+  /// whole triangle (prop link + its reference), halving step counts and
+  /// matching the baseline step-for-step.  true: references first, prop
+  /// forwards only when no reference remains — one dependency link per
+  /// hop, which reproduces Table 2's absolute step counts (the paper's
+  /// simulator charged one step per link).
+  bool defer_props{false};
+};
+
+class CycleDetector {
+ public:
+  explicit CycleDetector(rm::Process& process, DetectorConfig config = {});
+
+  /// Captures and summarizes the process state (§3.5.1).  Independent per
+  /// process — no coordination.
+  void take_snapshot();
+
+  /// Adopts a previously-captured (possibly deserialized, possibly
+  /// summarized off-line) snapshot instead of taking one now — the
+  /// paper's lazy/off-line summarization path (§4).  Must belong to this
+  /// process.  Throws std::invalid_argument otherwise.
+  void adopt_snapshot(ProcessSummary summary);
+  [[nodiscard]] bool has_snapshot() const noexcept { return summary_.has_value(); }
+  [[nodiscard]] const ProcessSummary& summary() const { return *summary_; }
+
+  /// Invoked (on the process where matching completed) with the proven
+  /// cycle; the Cluster turns it into a CutMsg for the candidate process.
+  std::function<void(const Cdm&)> on_cycle_found;
+
+  /// Starts a detection with `candidate` (a local object) as the suspect.
+  /// Returns the detection id, or nullopt when no snapshot exists, the
+  /// candidate is unknown to it, or the candidate is locally reachable.
+  std::optional<std::uint64_t> start_detection(ObjectId candidate);
+
+  // Message handlers (wired by the Cluster dispatcher).
+  void on_cdm(const net::Envelope& env, const CdmMsg& msg);
+  void on_cut(const net::Envelope& env, const CutMsg& msg);
+  void on_prop_cut(const net::Envelope& env, const PropCutMsg& msg);
+
+  /// Builds the cut instruction for a proven cycle from the verdict CDM's
+  /// observations (exposed for the Cluster and for tests).
+  [[nodiscard]] static CutMsg make_cut(const Cdm& cdm);
+
+ private:
+  enum class Visit { kOk, kAbortLive, kAbortRace, kUnknownEntity };
+
+  /// Full examination of object `obj` on this process.  `as_start` applies
+  /// the candidate-seeding rules (no target insertion, no own-scion
+  /// dependencies — the final re-visit closes the loop instead).
+  Visit examine(Cdm& cdm, ObjectId obj, bool as_start,
+                std::vector<rm::StubKey>& remote_out);
+
+  /// Examines an outgoing stub continuation; queues a send when the remote
+  /// side still needs visiting.  Local replicated ancestors of the link
+  /// (its ReplicasTo) are reported for inline examination.
+  Visit examine_stub(Cdm& cdm, const rm::StubKey& key,
+                     std::vector<rm::StubKey>& remote_out,
+                     util::FlatSet<ObjectId>& ancestors_out);
+
+  /// Anchor or replica of `obj` reachable from this process's local roots
+  /// in the current snapshot.
+  [[nodiscard]] bool locally_live(ObjectId obj) const;
+
+  /// Post-examination: verdict, flood, forward, or end of track.
+  void conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_out);
+
+  void record_abort(Visit v);
+
+  /// Per-(detection, entry) subsumption filter: an arriving CDM whose
+  /// target set is a subset of one already processed here for the same
+  /// entry cannot discover anything new — drop it.  Keeps flooding linear
+  /// when detection branches reconverge; cleared with every new snapshot.
+  bool subsumed(std::uint64_t detection, ObjectId entry,
+                const util::FlatSet<Element>& targets);
+
+  rm::Process& process_;
+  DetectorConfig config_;
+  std::optional<ProcessSummary> summary_;
+  std::uint64_t next_serial_{0};
+  std::map<std::pair<std::uint64_t, ObjectId>,
+           std::vector<util::FlatSet<Element>>>
+      seen_entries_;
+};
+
+}  // namespace rgc::gc

@@ -1,0 +1,111 @@
+// Cycle-candidate selection heuristics.
+//
+// §3.1: "efficient selection of cycle candidates is an issue out of the
+// scope of this paper; heuristics found in the literature [14] may be
+// used."  [14] is Maheshwari & Liskov's *distance heuristic*: estimate,
+// per object, the length of the shortest root path that keeps it alive;
+// objects on distributed garbage cycles have no root path, so their
+// estimates grow without bound as the estimates are refreshed, while live
+// objects' estimates stabilize.  Crossing a threshold makes an object a
+// detection candidate.
+//
+// Two selectors are provided:
+//
+//  - DistanceHeuristic — the [14] scheme adapted to this system's
+//    structures.  Distances piggyback on traffic that already flows: each
+//    local collection assigns every live stub
+//        dist(stub) = 1 + min(dist of entities that reach it)
+//    (roots have distance 0, scions the distance their remote peer last
+//    announced), and the next NewSetStubs round carries the per-anchor
+//    estimates to the scion side.  A scion whose distance exceeds the
+//    threshold anchors a suspect.  Replicas held alive purely by
+//    propagation entries age the same way through their prop links.
+//
+//  - SuspicionAgeTracker — a simpler staple: an object that survives K
+//    consecutive collections anchored only by scions/props (never by a
+//    root) becomes a suspect; any root-reachable collection resets it.
+//
+// Both deliver the same interface: feed per-collection observations, ask
+// for suspects.  Cluster::run_full_gc can use either instead of the
+// exhaustive sweep (core::CandidatePolicy).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gc/lgc/lgc.h"
+#include "rm/process.h"
+#include "util/ids.h"
+
+namespace rgc::gc {
+
+/// Distances are saturating small integers; kInfiniteDistance means "no
+/// known root path".
+inline constexpr std::uint32_t kInfiniteDistance = 0xffffffffu;
+
+class DistanceHeuristic {
+ public:
+  /// `threshold`: a scion/replica whose estimate reaches this value is
+  /// suspected of belonging to a distributed garbage cycle.  Live data in
+  /// a store of diameter d stabilizes below d+1, so pick threshold > the
+  /// longest expected root path.
+  explicit DistanceHeuristic(std::uint32_t threshold = 4)
+      : threshold_(threshold) {}
+
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+  /// Digests one local collection: refreshes the per-stub estimates from
+  /// the reachability classification and ages prop-only replicas.
+  /// Returns the per-anchor estimates to enclose in the next NewSetStubs
+  /// round (anchor -> distance), keyed by peer process.
+  [[nodiscard]] std::map<ProcessId, std::map<ObjectId, std::uint32_t>>
+  after_collection(const rm::Process& process, const LgcResult& result);
+
+  /// Applies the estimates a peer announced for our scions.
+  void apply_remote_estimates(
+      const rm::Process& process, ProcessId from,
+      const std::map<ObjectId, std::uint32_t>& estimates);
+
+  /// Current estimate for an object's local anchor (scion side), or 0 if
+  /// unknown/root-reachable.
+  [[nodiscard]] std::uint32_t estimate(ObjectId anchor) const;
+
+  /// Objects whose estimates crossed the threshold.
+  [[nodiscard]] std::vector<ObjectId> suspects() const;
+
+  /// Drops state for anchors that no longer exist (scion retired).
+  void prune(const rm::Process& process);
+
+ private:
+  std::uint32_t threshold_;
+  /// Scion-side estimates per anchor object (max over incoming links —
+  /// conservative: an anchor is suspect only when *every* path is long,
+  /// but for garbage cycles all paths age together, and taking max makes
+  /// live short paths reset the estimate via min at the stub side).
+  std::map<ObjectId, std::uint32_t> anchor_estimates_;
+  /// Aging for replicas anchored purely by propagation entries.
+  std::map<ObjectId, std::uint32_t> prop_age_;
+};
+
+class SuspicionAgeTracker {
+ public:
+  explicit SuspicionAgeTracker(std::uint32_t threshold = 3)
+      : threshold_(threshold) {}
+
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+  /// Digests one local collection: ages objects that survived anchored
+  /// only remotely (scions/props), resets the rest.
+  void after_collection(const rm::Process& process, const LgcResult& result);
+
+  [[nodiscard]] std::vector<ObjectId> suspects() const;
+  [[nodiscard]] std::uint32_t age(ObjectId obj) const;
+
+ private:
+  std::uint32_t threshold_;
+  std::map<ObjectId, std::uint32_t> ages_;
+};
+
+}  // namespace rgc::gc

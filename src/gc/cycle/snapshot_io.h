@@ -1,0 +1,37 @@
+// Snapshot persistence (§3.5.1).
+//
+// "Periodically, each process stores a snapshot of its internal object
+// graph on disk. … while processes can take snapshots by serializing
+// local graphs, the cycle detector only uses them in their summarized
+// form."  This module serializes the *summarized* form — a ProcessSummary
+// — to a compact binary representation and back, so snapshots can be
+// written out by the process, summarized lazily/off-line, and adopted by
+// a detector later (CycleDetector::adopt_snapshot).
+//
+// Format: little-endian, length-prefixed sections, a magic/version header
+// so stale files are rejected, and strict bounds checking on decode (a
+// truncated or corrupt file yields std::nullopt, never UB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gc/cycle/summary.h"
+
+namespace rgc::gc {
+
+/// Serializes a summary to a standalone byte buffer.
+[[nodiscard]] std::string encode_summary(const ProcessSummary& summary);
+
+/// Decodes a buffer produced by encode_summary.  Returns std::nullopt on
+/// any structural problem (bad magic, wrong version, truncation).
+[[nodiscard]] std::optional<ProcessSummary> decode_summary(
+    const std::string& bytes);
+
+/// Convenience file wrappers (the "on disk" of §3.5.1).
+bool save_summary(const ProcessSummary& summary, const std::string& path);
+[[nodiscard]] std::optional<ProcessSummary> load_summary(
+    const std::string& path);
+
+}  // namespace rgc::gc

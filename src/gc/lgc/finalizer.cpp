@@ -1,0 +1,58 @@
+#include "gc/lgc/finalizer.h"
+
+#include <utility>
+
+namespace rgc::gc {
+
+bool Finalizer::finalize(rm::Object& obj) {
+  ++finalized_;
+  switch (strategy_) {
+    case FinalizeStrategy::kNone:
+      return false;  // plain collection, no resurrection
+
+    case FinalizeStrategy::kReconstructionFresh: {
+      // Java-like: finalize() runs once per object, so preserving the
+      // replica requires building a *new* object: copy the reference list,
+      // replace each reference with a freshly allocated proxy, re-insert.
+      rm::Object rebuilt;
+      rebuilt.id = obj.id;
+      rebuilt.payload_bytes = obj.payload_bytes;
+      rebuilt.refs.reserve(obj.refs.size());
+      for (const rm::Ref& r : obj.refs) {
+        auto proxy = std::make_unique<Proxy>();
+        proxy->designates = r.target;
+        proxy->cookie = raw(r.target) ^ raw(obj.id);
+        rebuilt.refs.push_back(r);
+        arena_.push_back(std::move(proxy));
+      }
+      rebuilt.finalizable = true;
+      obj = std::move(rebuilt);
+      return true;
+    }
+
+    case FinalizeStrategy::kReconstructionInPlace: {
+      // .NET-like reconstruction: identity reused, but every internal
+      // reference is still routed through a new proxy.
+      for (const rm::Ref& r : obj.refs) {
+        auto proxy = std::make_unique<Proxy>();
+        proxy->designates = r.target;
+        proxy->cookie = raw(r.target) ^ raw(obj.id);
+        arena_.push_back(std::move(proxy));
+      }
+      return true;
+    }
+
+    case FinalizeStrategy::kReRegister:
+      // .NET ReRegisterForFinalize: constant-time re-arm.
+      obj.finalizable = true;
+      return true;
+  }
+  return false;
+}
+
+void Finalizer::reset() noexcept {
+  finalized_ = 0;
+  arena_.clear();
+}
+
+}  // namespace rgc::gc

@@ -1,0 +1,144 @@
+#include "gc/lgc/lgc.h"
+
+#include <deque>
+
+#include "util/log.h"
+
+namespace rgc::gc {
+
+void Lgc::trace(const rm::Process& process, const std::vector<ObjectId>& seeds,
+                std::uint8_t bit, std::map<ObjectId, std::uint8_t>& object_mask,
+                std::map<rm::StubKey, std::uint8_t>& stub_mask,
+                std::uint64_t* traced) {
+  std::deque<ObjectId> worklist;
+  for (ObjectId seed : seeds) {
+    if (process.has_replica(seed)) {
+      if ((object_mask[seed] & bit) == 0) {
+        object_mask[seed] |= bit;
+        worklist.push_back(seed);
+      }
+    } else {
+      // The seed designates a remote object: keep its stub chain alive.
+      for (const rm::StubKey& key : process.stubs_for(seed)) {
+        stub_mask[key] |= bit;
+      }
+    }
+  }
+
+  while (!worklist.empty()) {
+    const ObjectId current = worklist.front();
+    worklist.pop_front();
+    if (traced != nullptr) ++*traced;
+    const rm::Object* obj = process.heap().find(current);
+    if (obj == nullptr) continue;
+    for (const rm::Ref& ref : obj->refs) {
+      if (ref.is_local()) {
+        if (process.has_replica(ref.target)) {
+          auto& mask = object_mask[ref.target];
+          if ((mask & bit) == 0) {
+            mask |= bit;
+            worklist.push_back(ref.target);
+          }
+        } else {
+          // Local binding whose replica vanished: resolve through any
+          // surviving chain (defensive; cannot happen in well-formed runs).
+          for (const rm::StubKey& key : process.stubs_for(ref.target)) {
+            stub_mask[key] |= bit;
+          }
+        }
+      } else {
+        // Remote binding: the reference designates the chain, not a local
+        // replica that may happen to exist — SSP semantics (object.h).
+        const rm::StubKey key{ref.target, ref.via};
+        if (process.stubs().contains(key)) {
+          stub_mask[key] |= bit;
+        } else {
+          for (const rm::StubKey& other : process.stubs_for(ref.target)) {
+            stub_mask[other] |= bit;
+          }
+        }
+      }
+    }
+  }
+}
+
+LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
+  LgcResult result;
+
+  // Phase 1 — mutator roots (including transient invocation roots).
+  std::vector<ObjectId> roots(process.heap().roots().begin(),
+                              process.heap().roots().end());
+  for (const auto& [obj, ttl] : process.transient_roots()) roots.push_back(obj);
+  trace(process, roots, kReachRoot, result.object_reach, result.stub_reach,
+        &result.traced);
+
+  // Phase 2 — scions: objects referenced from other processes stay alive.
+  std::vector<ObjectId> scion_anchors;
+  scion_anchors.reserve(process.scions().size());
+  for (const auto& [key, scion] : process.scions()) {
+    scion_anchors.push_back(key.anchor);
+  }
+  trace(process, scion_anchors, kReachScion, result.object_reach,
+        result.stub_reach, &result.traced);
+
+  if (config.union_rule) {
+    // Phase 3 — Union Rule: replicas propagated into this process ...
+    std::vector<ObjectId> in_seeds;
+    in_seeds.reserve(process.in_props().size());
+    for (const auto& e : process.in_props()) in_seeds.push_back(e.object);
+    trace(process, in_seeds, kReachInProp, result.object_reach,
+          result.stub_reach, &result.traced);
+
+    // ... and replicas propagated out of it are both preserved.
+    std::vector<ObjectId> out_seeds;
+    out_seeds.reserve(process.out_props().size());
+    for (const auto& e : process.out_props()) out_seeds.push_back(e.object);
+    trace(process, out_seeds, kReachOutProp, result.object_reach,
+          result.stub_reach, &result.traced);
+  }
+
+  // Sweep.  Finalizable unreachable objects run the configured strategy and
+  // may resurrect (they stay in the heap, to be finalized again next time —
+  // the Figure 6/7 worst case).
+  std::vector<ObjectId> doomed;
+  for (auto& [id, obj] : process.heap().objects()) {
+    if (result.object_reach.contains(id)) continue;
+    if (obj.finalizable && config.finalizer != nullptr &&
+        config.finalizer->strategy() != FinalizeStrategy::kNone) {
+      obj.finalizable = false;
+      if (config.finalizer->finalize(obj)) {
+        ++result.resurrected;
+        continue;
+      }
+    }
+    doomed.push_back(id);
+  }
+  for (ObjectId id : doomed) {
+    process.heap().erase(id);
+    result.reclaimed.push_back(id);
+  }
+
+  // New stub set (§2.2.2): a stub survives only if some trace reached it.
+  for (const auto& [key, mask] : result.stub_reach) {
+    if (mask != 0) result.live_stubs.insert(key);
+  }
+  if (config.drop_dead_stubs) {
+    auto& stubs = process.stubs();
+    for (auto it = stubs.begin(); it != stubs.end();) {
+      if (result.live_stubs.contains(it->first)) {
+        ++it;
+      } else {
+        it = stubs.erase(it);
+      }
+    }
+  }
+
+  process.metrics().add("lgc.collections");
+  process.metrics().add("lgc.reclaimed", result.reclaimed.size());
+  RGC_DEBUG("lgc: ", to_string(process.id()), " reclaimed ",
+            result.reclaimed.size(), " objects, ", result.live_stubs.size(),
+            " live stubs");
+  return result;
+}
+
+}  // namespace rgc::gc

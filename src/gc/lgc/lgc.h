@@ -1,0 +1,85 @@
+// Local Garbage Collector (§2.2.2).
+//
+// A per-process tracing collector with the paper's two extensions:
+//  1. it traces not only from local roots but also from scions (incoming
+//     remote references keep objects alive), and
+//  2. Union Rule: it additionally traces from the inPropList/outPropList
+//     entries, so a replica that was propagated from or to another process
+//     is preserved even when locally unreachable — only the distributed
+//     protocols (ADGC Unreachable/Reclaim hand-shake or a cycle-detector
+//     verdict) may unlock it.
+//
+// The collection returns per-object reachability classes (which of the four
+// trace families reached it) — the ADGC bases its Unreachable/Reclaim
+// decisions on exactly this classification — and regenerates the stub set
+// ("for each outgoing inter-process reference it creates a stub in the new
+// set of stubs").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gc/lgc/finalizer.h"
+#include "rm/process.h"
+#include "rm/tables.h"
+#include "util/ids.h"
+
+namespace rgc::gc {
+
+/// Bitmask of trace families that reached an entity.
+enum ReachBit : std::uint8_t {
+  kReachRoot = 1u << 0,    // local roots (incl. transient invocation roots)
+  kReachScion = 1u << 1,   // incoming remote references
+  kReachInProp = 1u << 2,  // Union Rule: replica propagated *into* here
+  kReachOutProp = 1u << 3, // Union Rule: replica propagated *out of* here
+};
+
+struct LgcResult {
+  /// Reachability class of every surviving object.
+  std::map<ObjectId, std::uint8_t> object_reach;
+  /// Reachability class of every stub (a stub unreachable by all four
+  /// families is dead and was dropped from the process's stub table).
+  std::map<rm::StubKey, std::uint8_t> stub_reach;
+  /// The new stub set after the collection (§2.2.2).
+  std::set<rm::StubKey> live_stubs;
+  /// Objects swept by this collection.
+  std::vector<ObjectId> reclaimed;
+  /// Objects whose finalizer resurrected them (Figure 6/7 experiment).
+  std::uint64_t resurrected{0};
+  /// Objects visited across all traces (cost proxy).
+  std::uint64_t traced{0};
+};
+
+struct LgcConfig {
+  /// Finalization strategy applied to locally-unreachable finalizable
+  /// objects; kNone collects them like any other garbage.
+  Finalizer* finalizer{nullptr};
+  /// When false, stubs unreachable by every family are kept (used by tests
+  /// that want to inspect the would-be-dropped set).
+  bool drop_dead_stubs{true};
+  /// Union Rule enforcement (trace phases 3/4).  Turning it off makes the
+  /// collector behave like a classical replication-blind DGC — the unsafe
+  /// comparison of Figure 1, used by tests and the ablation bench to show
+  /// live data being lost.
+  bool union_rule{true};
+};
+
+class Lgc {
+ public:
+  /// Runs one stop-the-world local collection on `process`.
+  static LgcResult collect(rm::Process& process, const LgcConfig& config = {});
+
+  /// Shared tracing helper (also used by snapshot summarization): BFS over
+  /// the local heap from `seeds`, OR-ing `bit` into the masks of every
+  /// object and stub reached.  A reference to a non-local object marks all
+  /// stubs designating it; a seed with no local replica marks its stubs.
+  static void trace(const rm::Process& process,
+                    const std::vector<ObjectId>& seeds, std::uint8_t bit,
+                    std::map<ObjectId, std::uint8_t>& object_mask,
+                    std::map<rm::StubKey, std::uint8_t>& stub_mask,
+                    std::uint64_t* traced = nullptr);
+};
+
+}  // namespace rgc::gc

@@ -1,0 +1,165 @@
+#include "graphdb/graphdb.h"
+
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace rgc::graphdb {
+
+GraphStore::GraphStore(GraphStoreConfig config)
+    : config_(std::move(config)), cluster_(config_.cluster) {
+  if (config_.shards == 0) config_.shards = 1;
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    const ProcessId shard = cluster_.add_process();
+    shards_.push_back(shard);
+    const ObjectId index = cluster_.new_object(shard);
+    cluster_.add_root(shard, index);
+    index_[shard] = index;
+  }
+  if (config_.background_gc) {
+    daemon_ = std::make_unique<core::GcDaemon>(cluster_, config_.daemon);
+  }
+}
+
+ProcessId GraphStore::shard_of(VertexId v) const {
+  auto it = home_.find(v);
+  if (it == home_.end()) {
+    throw std::out_of_range("unknown vertex " + to_string(v));
+  }
+  return it->second;
+}
+
+VertexId GraphStore::add_vertex(std::string label) {
+  // Spread vertices round-robin; payload size models the label.
+  const ProcessId shard = shards_[home_.size() % shards_.size()];
+  const VertexId v = cluster_.new_object(
+      shard, static_cast<std::uint32_t>(16 + label.size()));
+  cluster_.add_ref(shard, index_.at(shard), v);
+  labels_[v] = std::move(label);
+  home_[v] = shard;
+  return v;
+}
+
+void GraphStore::remove_vertex(VertexId v) {
+  const ProcessId shard = shard_of(v);
+  cluster_.process(shard).remove_ref(index_.at(shard), v);
+  // Deliberately nothing else: edges into/out of v, replicas of v on
+  // other shards, and whole subgraphs v alone kept connected are the
+  // garbage collectors' problem now.
+}
+
+bool GraphStore::vertex_exists(VertexId v) const {
+  for (ProcessId shard : shards_) {
+    if (cluster_.process(shard).has_replica(v)) return true;
+  }
+  // The handle may be stale; drop the label once every replica is gone.
+  labels_.erase(v);
+  return false;
+}
+
+bool GraphStore::vertex_registered(VertexId v) const {
+  auto it = home_.find(v);
+  if (it == home_.end()) return false;
+  const rm::Object* index =
+      cluster_.process(it->second).heap().find(index_.at(it->second));
+  return index != nullptr && index->references(v);
+}
+
+std::optional<std::string> GraphStore::label(VertexId v) const {
+  if (!vertex_exists(v)) return std::nullopt;
+  auto it = labels_.find(v);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t GraphStore::vertex_count() const {
+  std::size_t count = 0;
+  for (ProcessId shard : shards_) {
+    const rm::Object* index =
+        cluster_.process(shard).heap().find(index_.at(shard));
+    if (index != nullptr) count += index->refs.size();
+  }
+  return count;
+}
+
+std::size_t GraphStore::replica_count() const {
+  std::size_t count = cluster_.total_objects();
+  // Exclude the per-shard index objects themselves.
+  return count >= shards_.size() ? count - shards_.size() : 0;
+}
+
+void GraphStore::cache_on(VertexId v, ProcessId shard) {
+  if (cluster_.process(shard).knows(v)) return;
+  cluster_.propagate(v, shard_of(v), shard);
+  cluster_.run_until_quiescent();
+}
+
+void GraphStore::add_edge(VertexId from, VertexId to) {
+  const ProcessId shard = shard_of(from);
+  if (!cluster_.process(shard).has_replica(from)) {
+    throw std::logic_error("add_edge: source vertex was deleted");
+  }
+  cache_on(to, shard);
+  cluster_.add_ref(shard, from, to);
+}
+
+void GraphStore::remove_edge(VertexId from, VertexId to) {
+  const ProcessId shard = shard_of(from);
+  cluster_.process(shard).remove_ref(from, to);
+}
+
+std::vector<VertexId> GraphStore::out_neighbors(VertexId from) const {
+  const ProcessId shard = shard_of(from);
+  const rm::Object* obj = cluster_.process(shard).heap().find(from);
+  if (obj == nullptr) return {};
+  std::vector<VertexId> out = obj->ref_targets();
+  return out;
+}
+
+std::vector<VertexId> GraphStore::reachable_from(VertexId start,
+                                                 std::size_t max_depth) const {
+  std::vector<VertexId> out;
+  std::set<VertexId> seen{start};
+  std::deque<std::pair<VertexId, std::size_t>> frontier{{start, 0}};
+  while (!frontier.empty()) {
+    const auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    out.push_back(v);
+    if (depth == max_depth) continue;
+    if (!home_.contains(v)) continue;
+    for (VertexId next : out_neighbors(v)) {
+      if (seen.insert(next).second) frontier.push_back({next, depth + 1});
+    }
+  }
+  return out;
+}
+
+void GraphStore::refresh_caches() {
+  for (const auto& [v, home] : home_) {
+    if (!cluster_.process(home).has_replica(v)) continue;
+    for (ProcessId shard : shards_) {
+      if (shard == home) continue;
+      if (!cluster_.process(shard).has_replica(v)) continue;
+      cluster_.propagate(v, home, shard);
+    }
+  }
+  cluster_.run_until_quiescent();
+}
+
+void GraphStore::step() {
+  if (daemon_ != nullptr) {
+    daemon_->step();
+  } else {
+    cluster_.step();
+  }
+}
+
+void GraphStore::run_steps(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+core::Cluster::FullGcStats GraphStore::run_gc() {
+  return cluster_.run_full_gc();
+}
+
+}  // namespace rgc::graphdb

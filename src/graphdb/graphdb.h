@@ -1,0 +1,133 @@
+// A graph-database layer over the RM substrate — the deployment §1
+// motivates: "the algorithms proposed here can be used in a large-scale
+// graph database … to safely and efficiently delete sub-graphs that got
+// disconnected from the main graph".
+//
+// Vertices are RM objects sharded by id across the cluster's processes;
+// each shard holds an *index* object (its local root) referencing the
+// vertices homed there.  Cross-shard edges replicate the target vertex
+// into the source's shard first (read-through caching, exactly how a
+// store caches a hot remote vertex) and then store the reference — which
+// makes every structure the paper worries about appear naturally:
+// stub/scion chains, replicas with divergent edge sets, and — after
+// remove_vertex unlinks the index entry — replicated acyclic and cyclic
+// garbage that only the complete DGC can reclaim.
+//
+// The store never frees anything itself: deletion is *unlinking*, memory
+// management is the collectors' job (run_gc / GcDaemon), and referential
+// integrity is the library's promise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/daemon.h"
+#include "util/ids.h"
+
+namespace rgc::graphdb {
+
+/// Application-visible vertex handle (the underlying RM ObjectId).
+using VertexId = ObjectId;
+
+struct GraphStoreConfig {
+  std::size_t shards{3};
+  core::ClusterConfig cluster{};
+  /// Background GC cadence used by step()/run_steps(); disable by setting
+  /// background_gc to false and calling run_gc() explicitly.
+  bool background_gc{true};
+  core::DaemonConfig daemon{};
+};
+
+class GraphStore {
+ public:
+  explicit GraphStore(GraphStoreConfig config = {});
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // ---- Vertex operations -------------------------------------------------
+
+  /// Creates a vertex (registered in its home shard's index).
+  VertexId add_vertex(std::string label);
+
+  /// Unlinks the vertex from its shard index.  The vertex data, its
+  /// edges, and any replicas on other shards become garbage *if* nothing
+  /// else reaches them — deciding that is the collectors' job, never a
+  /// manual free (the paper's whole point).
+  void remove_vertex(VertexId v);
+
+  /// True while any replica of the vertex exists anywhere.
+  [[nodiscard]] bool vertex_exists(VertexId v) const;
+
+  /// True while the vertex is registered (reachable from its index).
+  [[nodiscard]] bool vertex_registered(VertexId v) const;
+
+  [[nodiscard]] std::optional<std::string> label(VertexId v) const;
+
+  /// Registered vertices (index-reachable), cluster-wide.
+  [[nodiscard]] std::size_t vertex_count() const;
+
+  /// Replicas currently held, cluster-wide (≥ vertex_count when caching
+  /// has replicated vertices across shards; also counts unlinked garbage
+  /// the collectors have not reclaimed yet).
+  [[nodiscard]] std::size_t replica_count() const;
+
+  // ---- Edge operations -----------------------------------------------------
+
+  /// Adds the directed edge from -> to.  A cross-shard edge caches the
+  /// target vertex on the source's shard first (replication), then stores
+  /// the reference.
+  void add_edge(VertexId from, VertexId to);
+  void remove_edge(VertexId from, VertexId to);
+
+  /// Out-neighbours as stored on the *home* replica of `from`.
+  [[nodiscard]] std::vector<VertexId> out_neighbors(VertexId from) const;
+
+  /// Breadth-first reachability from `start` over home-replica edges,
+  /// up to `max_depth` hops (the "complex semantic queries" stand-in).
+  [[nodiscard]] std::vector<VertexId> reachable_from(VertexId start,
+                                                     std::size_t max_depth) const;
+
+  // ---- Maintenance ----------------------------------------------------------
+
+  /// Coherence refresh: re-propagates every registered vertex's home
+  /// content to the shards already caching it, so cached replicas pick up
+  /// edges added after they were created.  Imported references to
+  /// vertices not cached locally bind through stubs — after a refresh the
+  /// replica graph carries genuine inter-shard reference chains, exactly
+  /// the structures §3's detector exists for.
+  void refresh_caches();
+
+  /// One simulation step; runs the background daemon cadence when enabled.
+  void step();
+  void run_steps(std::uint64_t steps);
+
+  /// Synchronous full collection (LGC + acyclic + cycle detection rounds).
+  core::Cluster::FullGcStats run_gc();
+
+  [[nodiscard]] core::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const core::Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] ProcessId shard_of(VertexId v) const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  /// Ensures `v` is resolvable on `shard` (replicating it there if not).
+  void cache_on(VertexId v, ProcessId shard);
+
+  GraphStoreConfig config_;
+  core::Cluster cluster_;
+  std::unique_ptr<core::GcDaemon> daemon_;
+  std::vector<ProcessId> shards_;
+  std::map<ProcessId, ObjectId> index_;
+  /// Application payloads live beside the store (the RM layer models
+  /// payload as opaque bytes); erased lazily once the vertex is gone.
+  mutable std::map<VertexId, std::string> labels_;
+  /// Home shard per vertex (assigned round-robin-by-hash at creation).
+  std::map<VertexId, ProcessId> home_;
+};
+
+}  // namespace rgc::graphdb

@@ -1,0 +1,112 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rgc::net {
+
+Network::Network(NetworkConfig config)
+    : config_(config), rng_(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL) {
+  if (config_.min_delay < 1) config_.min_delay = 1;
+  if (config_.max_delay < config_.min_delay) config_.max_delay = config_.min_delay;
+}
+
+void Network::attach(ProcessId process, Handler handler) {
+  handlers_[process] = std::move(handler);
+}
+
+std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
+  assert(msg != nullptr);
+  const std::string kind = msg->kind();
+  metrics_.add("net.sent." + kind);
+  metrics_.add("net.weight." + kind, msg->weight());
+  if (per_step_sent_.size() <= now_) per_step_sent_.resize(now_ + 1);
+  ++per_step_sent_[now_][kind];
+
+  const std::uint64_t seq = ++link_seq_[{src, dst}];
+  if (!msg->reliable() && rng_.chance(config_.drop_probability)) {
+    metrics_.add("net.dropped");
+    return seq;
+  }
+  enqueue(src, dst, std::move(msg), seq, now_);
+  return seq;
+}
+
+void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
+                      std::uint64_t seq, std::uint64_t sent_at) {
+  const auto delay =
+      config_.min_delay +
+      (config_.max_delay > config_.min_delay
+           ? rng_.below(config_.max_delay - config_.min_delay + 1)
+           : 0);
+  std::uint64_t due = now_ + delay;
+  if (msg->reliable()) {
+    // Per-link FIFO: a reliable message never overtakes an earlier one.
+    auto& horizon = reliable_due_[{src, dst}];
+    due = std::max(due, horizon);
+    horizon = due;
+  } else if (rng_.chance(config_.duplicate_probability)) {
+    metrics_.add("net.duplicated");
+    in_flight_.push_back(
+        {now_ + delay + 1, src, dst, seq, sent_at, msg->clone()});
+  }
+  in_flight_.push_back({due, src, dst, seq, sent_at, std::move(msg)});
+}
+
+bool Network::step() {
+  ++now_;
+  // Deterministic delivery order: due step, then link, then send order.
+  std::stable_sort(in_flight_.begin(), in_flight_.end(),
+                   [](const InFlight& a, const InFlight& b) {
+                     return std::tie(a.due, a.src, a.dst, a.seq) <
+                            std::tie(b.due, b.src, b.dst, b.seq);
+                   });
+  std::vector<InFlight> due;
+  std::vector<InFlight> later;
+  later.reserve(in_flight_.size());
+  for (auto& m : in_flight_) {
+    (m.due <= now_ ? due : later).push_back(std::move(m));
+  }
+  in_flight_ = std::move(later);
+
+  for (auto& m : due) {
+    auto it = handlers_.find(m.dst);
+    if (it == handlers_.end()) {
+      throw std::logic_error("message addressed to unattached process " +
+                             to_string(m.dst));
+    }
+    metrics_.add(std::string("net.delivered.") + m.msg->kind());
+    RGC_TRACE("net: step ", now_, " deliver ", m.msg->kind(), " ",
+              to_string(m.src), "->", to_string(m.dst));
+    const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
+    if (tap_) tap_(env);
+    it->second(env);
+  }
+  return !in_flight_.empty();
+}
+
+std::uint64_t Network::run_until_quiescent(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!in_flight_.empty() && steps < max_steps) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+std::uint64_t Network::sent_at_step(const std::string& kind,
+                                    std::uint64_t step) const {
+  if (step >= per_step_sent_.size()) return 0;
+  const auto& at = per_step_sent_[step];
+  auto it = at.find(kind);
+  return it == at.end() ? 0 : it->second;
+}
+
+std::uint64_t Network::total_sent(const std::string& kind) const {
+  return metrics_.get("net.sent." + kind);
+}
+
+}  // namespace rgc::net

@@ -1,0 +1,170 @@
+// Coherence-engine half of Process: object propagation, remote invocation,
+// and the corresponding message handlers.  Separated from process.cpp so
+// the export/import rules of §2.1.2/§2.2.4 live in one translation unit.
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "rm/process.h"
+#include "util/log.h"
+
+namespace rgc::rm {
+
+void Process::propagate(ObjectId object, ProcessId to) {
+  if (to == id_) {
+    throw std::logic_error("propagate: cannot propagate to self");
+  }
+  Object* obj = heap_.find(object);
+  if (obj == nullptr) {
+    throw std::logic_error("propagate: " + to_string(object) +
+                           " is not local to " + to_string(id_));
+  }
+
+  // Bump the outProp UC *before* the message leaves; the receiver adopts
+  // the value, so both ends of the link agree on its update history
+  // (Table 1's α -> α+1 succession is exactly this bump).
+  OutProp* op = find_out_prop(object, to);
+  if (op == nullptr) {
+    out_props_.push_back(OutProp{object, to, 0, false});
+    op = &out_props_.back();
+    metrics_.add("rm.outprops_created");
+  }
+  ++op->uc;
+  // A fresh propagation makes any previous Unreachable report from this
+  // child stale: the child is about to hold a live-looking replica again.
+  op->rec_umess = false;
+
+  auto msg = std::make_unique<PropagateMsg>();
+  msg->object = object;
+  msg->refs = obj->ref_targets();
+  msg->payload_bytes = obj->payload_bytes;
+  msg->uc = op->uc;
+  const std::uint64_t seq = network_->send(id_, to, std::move(msg));
+
+  // "Clean before send propagate": scions for every enclosed reference must
+  // exist before the propagate is delivered.  Delivery happens no earlier
+  // than the next simulation step, so creating them here preserves the
+  // causal order scion-before-stub.
+  export_references(*obj, to, seq);
+  metrics_.add("rm.propagations");
+  RGC_DEBUG("rm: ", to_string(id_), " propagate ", to_string(object), " -> ",
+            to_string(to), " uc=", op->uc);
+}
+
+void Process::export_references(const Object& object, ProcessId to,
+                                std::uint64_t seq) {
+  for (const Ref& ref : object.refs) {
+    const ObjectId r = ref.target;
+    const ScionKey key{to, r};
+    auto [it, inserted] = scions_.try_emplace(key);
+    Scion& scion = it->second;
+    scion.key = key;
+    // Refreshing the horizon on every export protects a re-exported scion
+    // from deletion by a NewSetStubs computed before this propagate landed.
+    scion.created_seq = seq;
+    if (std::find(scion.src_objects.begin(), scion.src_objects.end(),
+                  object.id) == scion.src_objects.end()) {
+      scion.src_objects.push_back(object.id);
+    }
+    if (inserted) metrics_.add("rm.scions_created");
+  }
+}
+
+void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
+  auto& horizon = delivered_prop_seq_[env.src];
+  horizon = std::max(horizon, env.seq);
+
+  // "Clean before deliver propagate": the imported references bind locally
+  // when a replica of the target already lives here, and otherwise chain
+  // through the sender.  The stub is created in *either* case ("if they do
+  // not exist yet", §2.2.4): the sender unconditionally created the
+  // matching scion at export time, and the stub — even when immediately
+  // unused because the binding went local — is the handle through which
+  // the next NewSetStubs round retires that scion.  Without it the scion
+  // would be orphaned forever (this process might never otherwise appear
+  // in the sender's peer set).
+  std::vector<Ref> bound;
+  bound.reserve(msg.refs.size());
+  for (ObjectId r : msg.refs) {
+    bound.push_back(heap_.contains(r) ? Ref{r, kNoProcess} : Ref{r, env.src});
+    const StubKey key{r, env.src};
+    if (stubs_.contains(key)) continue;
+    stubs_.emplace(key, Stub{key, 0, network_->now()});
+    stub_peers_.insert(env.src);
+    metrics_.add("rm.stubs_created");
+  }
+
+  heap_.put(msg.object, std::move(bound), msg.payload_bytes);
+
+  InProp* ip = find_in_prop(msg.object, env.src);
+  if (ip == nullptr) {
+    in_props_.push_back(InProp{msg.object, env.src, msg.uc, false});
+    metrics_.add("rm.inprops_created");
+  } else {
+    ip->uc = msg.uc;
+    // The replica just changed; any earlier Unreachable report is stale.
+    ip->sent_umess = false;
+  }
+  metrics_.add("rm.propagations_delivered");
+  RGC_DEBUG("rm: ", to_string(id_), " delivered replica ",
+            to_string(msg.object), " from ", to_string(env.src));
+}
+
+void Process::invoke(ObjectId target, std::uint32_t root_steps) {
+  const auto keys = stubs_for(target);
+  if (keys.empty()) {
+    throw std::logic_error("invoke: no stub for " + to_string(target) +
+                           " on " + to_string(id_));
+  }
+  // Deterministic choice: the lowest-numbered target process.
+  Stub& stub = stubs_.at(keys.front());
+  ++stub.ic;
+
+  auto msg = std::make_unique<InvokeMsg>();
+  msg->target = target;
+  msg->ic = stub.ic;
+  msg->root_steps = root_steps;
+  network_->send(id_, keys.front().target_process, std::move(msg));
+
+  // The caller holds the reference in a register for the call's duration.
+  pin_transient_root(target, root_steps);
+  metrics_.add("rm.invocations");
+}
+
+void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
+  auto it = scions_.find(ScionKey{env.src, msg.target});
+  if (it == scions_.end()) {
+    // Reliable FIFO transport plus scion-before-stub ordering make this
+    // unreachable in a well-formed run; failing loudly catches harness bugs.
+    throw std::logic_error("on_invoke: no scion for " + to_string(msg.target) +
+                           " from " + to_string(env.src) + " on " +
+                           to_string(id_));
+  }
+  it->second.ic = msg.ic;
+  // The callee's runtime holds the target while the invocation executes
+  // (or while it forwards the call further down the chain).
+  pin_transient_root(msg.target, msg.root_steps);
+  metrics_.add("rm.invocations_delivered");
+
+  if (!heap_.contains(msg.target)) {
+    // SSP chains (§2.2.4): the scion's anchor is not local — this node is
+    // an intermediary of a stub–scion chain and routes the invocation one
+    // hop further, bumping the next link's IC exactly like a first-hop
+    // caller would (the race barrier sees every traversed link move).
+    const auto next = stubs_for(msg.target);
+    if (next.empty()) {
+      throw std::logic_error("on_invoke: chain broken for " +
+                             to_string(msg.target) + " on " + to_string(id_));
+    }
+    Stub& stub = stubs_.at(next.front());
+    ++stub.ic;
+    auto fwd = std::make_unique<InvokeMsg>();
+    fwd->target = msg.target;
+    fwd->ic = stub.ic;
+    fwd->root_steps = msg.root_steps;
+    network_->send(id_, next.front().target_process, std::move(fwd));
+    metrics_.add("rm.invocations_forwarded");
+  }
+}
+
+}  // namespace rgc::rm

@@ -1,0 +1,28 @@
+#include "rm/heap.h"
+
+#include <utility>
+
+namespace rgc::rm {
+
+Object& Heap::put(ObjectId id, std::vector<Ref> refs,
+                  std::uint32_t payload_bytes) {
+  Object& obj = objects_[id];
+  obj.id = id;
+  obj.refs = std::move(refs);
+  obj.payload_bytes = payload_bytes;
+  return obj;
+}
+
+Object* Heap::find(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const Object* Heap::find(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool Heap::erase(ObjectId id) { return objects_.erase(id) > 0; }
+
+}  // namespace rgc::rm

@@ -1,0 +1,52 @@
+// Per-process object store and local roots.
+//
+// Deliberately dumb: it owns replicas and the root set and nothing else.
+// Reachability, stubs/scions and propagation lists belong to Process; the
+// tracing itself to gc/lgc.  Iteration order is deterministic (ordered map)
+// so collections and snapshots are reproducible run to run.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rm/object.h"
+#include "util/ids.h"
+
+namespace rgc::rm {
+
+class Heap {
+ public:
+  /// Creates a replica; replaces content if one already exists (an update
+  /// delivered by the coherence engine overwrites the replica's edges).
+  Object& put(ObjectId id, std::vector<Ref> refs = {},
+              std::uint32_t payload_bytes = 16);
+
+  [[nodiscard]] bool contains(ObjectId id) const { return objects_.contains(id); }
+  [[nodiscard]] Object* find(ObjectId id);
+  [[nodiscard]] const Object* find(ObjectId id) const;
+
+  /// Removes the replica.  Returns true when it existed.
+  bool erase(ObjectId id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+
+  [[nodiscard]] const std::map<ObjectId, Object>& objects() const noexcept {
+    return objects_;
+  }
+  [[nodiscard]] std::map<ObjectId, Object>& objects() noexcept { return objects_; }
+
+  // Local roots.  A root may designate a local replica or a stubbed remote
+  // object (a register/global holding a remote reference).
+  void add_root(ObjectId id) { roots_.insert(id); }
+  bool remove_root(ObjectId id) { return roots_.erase(id) > 0; }
+  [[nodiscard]] bool is_root(ObjectId id) const { return roots_.contains(id); }
+  [[nodiscard]] const std::set<ObjectId>& roots() const noexcept { return roots_; }
+
+ private:
+  std::map<ObjectId, Object> objects_;
+  std::set<ObjectId> roots_;
+};
+
+}  // namespace rgc::rm

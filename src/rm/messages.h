@@ -1,0 +1,54 @@
+// Coherence-engine and mutator messages (the RM substrate's wire protocol).
+//
+// Propagate carries an object's content (its reference list) from parent to
+// child replica — §2.1.2's only coherence operation with GC relevance.
+// Invoke models a remote method call through a stub; its only GC-visible
+// effect is bumping the invocation counters at both ends (§3.5), and
+// optionally pinning the target as a transient local root for `root_steps`
+// steps — exactly the behaviour the Figure 4/5 race example relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+#include "util/ids.h"
+
+namespace rgc::rm {
+
+struct PropagateMsg final : net::Message {
+  ObjectId object{kNoObject};
+  std::vector<ObjectId> refs;
+  std::uint32_t payload_bytes{0};
+  /// Sender-side outProp UC after the pre-send bump; the receiver adopts it.
+  std::uint64_t uc{0};
+
+  [[nodiscard]] const char* kind() const noexcept override { return "Propagate"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::size_t weight() const noexcept override {
+    return 1 + refs.size() + payload_bytes / 16;
+  }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<PropagateMsg>(*this);
+  }
+};
+
+struct InvokeMsg final : net::Message {
+  ObjectId target{kNoObject};
+  /// Stub-side IC after the pre-send bump; the receiving scion adopts it so
+  /// both ends agree on the link's invocation history.
+  std::uint64_t ic{0};
+  /// Number of steps the invoked object stays pinned as a transient root on
+  /// the callee ("the invoke creates a local root pointing to the target;
+  /// when the invoke returns, the local root is deleted").
+  std::uint32_t root_steps{1};
+
+  [[nodiscard]] const char* kind() const noexcept override { return "Invoke"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<InvokeMsg>(*this);
+  }
+};
+
+}  // namespace rgc::rm

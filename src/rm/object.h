@@ -1,0 +1,83 @@
+// A replica of a logical object held by one process.
+//
+// §2.1.1 of the paper: "Applications can have different views of objects …
+// The unit for replication is the object."  The only mutator operation with
+// GC relevance is reference assignment, so an object is its identity plus
+// its outgoing references.
+//
+// References carry a *binding*, fixed at assignment/import time, in the
+// SSP-chains tradition the paper builds on: a reference either designates a
+// local replica (`via == kNoProcess`) or goes through a stub toward the
+// process it was imported from (`via == that process`).  A later-arriving
+// local replica of the target does NOT rebind existing references — the
+// stub–scion chain persists until the chain's holder drops the reference
+// (this is what keeps inter-process structure stable for the distributed
+// collectors; it also matches how chains behave in Shapiro et al.'s SSP
+// model, which §2.2.4 cites).
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace rgc::rm {
+
+struct Ref {
+  ObjectId target{kNoObject};
+  /// kNoProcess for a local binding; otherwise the process whose replica
+  /// this reference chains through (the stub's target process).
+  ProcessId via{kNoProcess};
+
+  [[nodiscard]] bool is_local() const noexcept { return via == kNoProcess; }
+
+  friend constexpr auto operator<=>(const Ref&, const Ref&) = default;
+};
+
+struct Object {
+  ObjectId id{kNoObject};
+
+  /// Outgoing references (directed edges of the graph), with bindings.
+  std::vector<Ref> refs;
+
+  /// Abstract payload size in bytes; propagation messages charge it as
+  /// weight so network accounting reflects object sizes.
+  std::uint32_t payload_bytes{16};
+
+  /// True when the Figure 6/7 experiment registered a finalizer for this
+  /// object; the LGC then runs the configured finalization strategy when
+  /// the object becomes locally unreachable.
+  bool finalizable{false};
+
+  /// Adds a reference; duplicates (same target, any binding) are collapsed.
+  bool add_ref(Ref ref) {
+    if (references(ref.target)) return false;
+    refs.push_back(ref);
+    return true;
+  }
+
+  /// Removes the reference to `target`, whatever its binding.
+  bool remove_ref(ObjectId target) {
+    auto it = std::find_if(refs.begin(), refs.end(),
+                           [&](const Ref& r) { return r.target == target; });
+    if (it == refs.end()) return false;
+    refs.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool references(ObjectId target) const {
+    return std::any_of(refs.begin(), refs.end(),
+                       [&](const Ref& r) { return r.target == target; });
+  }
+
+  [[nodiscard]] std::vector<ObjectId> ref_targets() const {
+    std::vector<ObjectId> out;
+    out.reserve(refs.size());
+    for (const Ref& r : refs) out.push_back(r.target);
+    return out;
+  }
+};
+
+}  // namespace rgc::rm

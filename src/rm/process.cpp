@@ -1,0 +1,144 @@
+#include "rm/process.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace rgc::rm {
+
+Process::Process(ProcessId id, net::Network& network)
+    : id_(id), network_(&network) {}
+
+Object& Process::create_object(ObjectId id, std::uint32_t payload_bytes) {
+  if (heap_.contains(id)) {
+    throw std::logic_error("create_object: " + to_string(id) +
+                           " already exists on " + to_string(id_));
+  }
+  metrics_.add("rm.objects_created");
+  return heap_.put(id, {}, payload_bytes);
+}
+
+void Process::add_ref(ObjectId from, ObjectId to) {
+  Object* src = heap_.find(from);
+  if (src == nullptr) {
+    throw std::logic_error("add_ref: source " + to_string(from) +
+                           " is not local to " + to_string(id_));
+  }
+  // §2.1.2: a process can only assign references it already holds; an
+  // inter-process reference appears here only because a replica enclosing
+  // it was propagated in earlier.  The binding is fixed at assignment time:
+  // local replica if one exists, else the (deterministically first) stub.
+  Ref ref{to, kNoProcess};
+  if (!heap_.contains(to)) {
+    const auto stubs = stubs_for(to);
+    if (stubs.empty()) {
+      throw std::logic_error("add_ref: target " + to_string(to) +
+                             " is not resolvable on " + to_string(id_));
+    }
+    ref.via = stubs.front().target_process;
+  }
+  src->add_ref(ref);
+  metrics_.add("rm.ref_assignments");
+}
+
+void Process::remove_ref(ObjectId from, ObjectId to) {
+  Object* src = heap_.find(from);
+  if (src == nullptr) {
+    throw std::logic_error("remove_ref: source " + to_string(from) +
+                           " is not local to " + to_string(id_));
+  }
+  src->remove_ref(to);
+  metrics_.add("rm.ref_removals");
+}
+
+void Process::add_root(ObjectId target) {
+  if (!knows(target)) {
+    throw std::logic_error("add_root: " + to_string(target) +
+                           " is not resolvable on " + to_string(id_));
+  }
+  heap_.add_root(target);
+}
+
+void Process::remove_root(ObjectId target) { heap_.remove_root(target); }
+
+std::vector<StubKey> Process::stubs_for(ObjectId target) const {
+  std::vector<StubKey> out;
+  // StubKey orders by target first, so all stubs for `target` are adjacent.
+  for (auto it = stubs_.lower_bound(StubKey{target, ProcessId{0}});
+       it != stubs_.end() && it->first.target == target; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+bool Process::knows(ObjectId id) const {
+  if (heap_.contains(id)) return true;
+  auto it = stubs_.lower_bound(StubKey{id, ProcessId{0}});
+  return it != stubs_.end() && it->first.target == id;
+}
+
+InProp* Process::find_in_prop(ObjectId object, ProcessId from) {
+  for (auto& e : in_props_) {
+    if (e.object == object && e.process == from) return &e;
+  }
+  return nullptr;
+}
+
+OutProp* Process::find_out_prop(ObjectId object, ProcessId to) {
+  for (auto& e : out_props_) {
+    if (e.object == object && e.process == to) return &e;
+  }
+  return nullptr;
+}
+
+const InProp* Process::find_in_prop(ObjectId object, ProcessId from) const {
+  return const_cast<Process*>(this)->find_in_prop(object, from);
+}
+
+const OutProp* Process::find_out_prop(ObjectId object, ProcessId to) const {
+  return const_cast<Process*>(this)->find_out_prop(object, to);
+}
+
+bool Process::is_replicated(ObjectId object) const {
+  return !prop_parents(object).empty() || !prop_children(object).empty();
+}
+
+std::vector<ProcessId> Process::prop_parents(ObjectId object) const {
+  std::vector<ProcessId> out;
+  for (const auto& e : in_props_) {
+    if (e.object == object) out.push_back(e.process);
+  }
+  return out;
+}
+
+std::vector<ProcessId> Process::prop_children(ObjectId object) const {
+  std::vector<ProcessId> out;
+  for (const auto& e : out_props_) {
+    if (e.object == object) out.push_back(e.process);
+  }
+  return out;
+}
+
+void Process::pin_transient_root(ObjectId target, std::uint32_t steps) {
+  if (steps == 0) return;
+  auto& ttl = transient_roots_[target];
+  ttl = std::max(ttl, steps);
+}
+
+void Process::tick() {
+  for (auto it = transient_roots_.begin(); it != transient_roots_.end();) {
+    if (--it->second == 0) {
+      it = transient_roots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t Process::delivered_prop_seq(ProcessId src) const {
+  auto it = delivered_prop_seq_.find(src);
+  return it == delivered_prop_seq_.end() ? 0 : it->second;
+}
+
+}  // namespace rgc::rm

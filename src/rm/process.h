@@ -1,0 +1,163 @@
+// One participating process of the RM system (§2.1): heap + mutator +
+// coherence engine, plus the DGC bookkeeping tables the collectors read.
+//
+// The mutator API (create/add_ref/remove_ref/roots) is what an application
+// sees; the coherence API (propagate/invoke) is what the store's engine
+// drives.  Both enforce the paper's export/import rules:
+//   - clean before send propagate  — scions are created at the sender for
+//     every reference enclosed in the propagated object, before the message
+//     leaves (so scions causally precede stubs);
+//   - clean before deliver propagate — stubs are created at the receiver
+//     for every imported reference that is not locally resolvable.
+// Invocations and propagations bump the invocation/update counters used by
+// the cycle detector's race barrier (§3.5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.h"
+#include "rm/heap.h"
+#include "rm/messages.h"
+#include "rm/tables.h"
+#include "util/ids.h"
+#include "util/metrics.h"
+
+namespace rgc::rm {
+
+class Process {
+ public:
+  Process(ProcessId id, net::Network& network);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+  [[nodiscard]] const Heap& heap() const noexcept { return heap_; }
+  [[nodiscard]] net::Network& network() const noexcept { return *network_; }
+
+  // ---- Mutator operations (§2.1.1) ------------------------------------
+
+  /// Materializes a brand-new object on this process.  Ids are allocated by
+  /// the Cluster so they are globally unique.
+  Object& create_object(ObjectId id, std::uint32_t payload_bytes = 16);
+
+  /// Reference assignment `from.field = to`.  `from` must be a local
+  /// replica; `to` must be resolvable here (local replica or stub), because
+  /// in the RM model a process can only assign references it already holds.
+  /// Throws std::logic_error otherwise.
+  void add_ref(ObjectId from, ObjectId to);
+
+  /// Reference removal `from.field = null`.
+  void remove_ref(ObjectId from, ObjectId to);
+
+  /// Root assignment (global/register).  The target may be local or remote
+  /// (through a stub).
+  void add_root(ObjectId target);
+  void remove_root(ObjectId target);
+
+  // ---- Coherence operations (§2.1.2) -----------------------------------
+
+  /// Propagates (replicates or updates) the local replica of `object` to
+  /// process `to`: bumps the outProp UC, creates scions for every enclosed
+  /// reference ("clean before send"), then ships the content.
+  void propagate(ObjectId object, ProcessId to);
+
+  /// Remote invocation through the local stub for `target`; bumps the
+  /// stub's IC, pins the remote reference as a transient local root for
+  /// `root_steps` steps, and bumps the scion's IC at the callee.
+  void invoke(ObjectId target, std::uint32_t root_steps = 1);
+
+  // ---- Message handlers (wired by the Cluster dispatcher) --------------
+
+  void on_propagate(const net::Envelope& env, const PropagateMsg& msg);
+  void on_invoke(const net::Envelope& env, const InvokeMsg& msg);
+
+  /// Advances process-local time: expires transient invocation roots.
+  void tick();
+
+  // ---- Resolution helpers ----------------------------------------------
+
+  [[nodiscard]] bool has_replica(ObjectId id) const { return heap_.contains(id); }
+
+  /// All stubs designating `target` (SSP chains allow several).
+  [[nodiscard]] std::vector<StubKey> stubs_for(ObjectId target) const;
+
+  /// True when this process can reach `id` at all: replica, stub, or root.
+  [[nodiscard]] bool knows(ObjectId id) const;
+
+  // ---- DGC table access --------------------------------------------------
+
+  [[nodiscard]] std::map<StubKey, Stub>& stubs() noexcept { return stubs_; }
+  [[nodiscard]] const std::map<StubKey, Stub>& stubs() const noexcept { return stubs_; }
+  [[nodiscard]] std::map<ScionKey, Scion>& scions() noexcept { return scions_; }
+  [[nodiscard]] const std::map<ScionKey, Scion>& scions() const noexcept { return scions_; }
+  [[nodiscard]] std::vector<InProp>& in_props() noexcept { return in_props_; }
+  [[nodiscard]] const std::vector<InProp>& in_props() const noexcept { return in_props_; }
+  [[nodiscard]] std::vector<OutProp>& out_props() noexcept { return out_props_; }
+  [[nodiscard]] const std::vector<OutProp>& out_props() const noexcept { return out_props_; }
+
+  [[nodiscard]] InProp* find_in_prop(ObjectId object, ProcessId from);
+  [[nodiscard]] OutProp* find_out_prop(ObjectId object, ProcessId to);
+  [[nodiscard]] const InProp* find_in_prop(ObjectId object, ProcessId from) const;
+  [[nodiscard]] const OutProp* find_out_prop(ObjectId object, ProcessId to) const;
+  [[nodiscard]] bool is_replicated(ObjectId object) const;
+
+  /// inProp partners (parent processes) / outProp partners (children).
+  [[nodiscard]] std::vector<ProcessId> prop_parents(ObjectId object) const;
+  [[nodiscard]] std::vector<ProcessId> prop_children(ObjectId object) const;
+
+  /// Transient roots created by in-flight invocations; the LGC treats them
+  /// exactly like mutator roots.
+  [[nodiscard]] const std::map<ObjectId, std::uint32_t>& transient_roots() const noexcept {
+    return transient_roots_;
+  }
+  void pin_transient_root(ObjectId target, std::uint32_t steps);
+
+  /// Highest Propagate link-sequence number delivered from `src`; the
+  /// NewSetStubs causality horizon (see tables.h / adgc).
+  [[nodiscard]] std::uint64_t delivered_prop_seq(ProcessId src) const;
+
+  /// Processes that may hold scions matching our stubs (every process we
+  /// ever created a stub toward).  The ADGC sends NewSetStubs to each of
+  /// them — including an empty set after the last stub to a peer died, so
+  /// the peer can drop its scions; the peer is then forgotten.
+  [[nodiscard]] std::set<ProcessId>& stub_peers() noexcept { return stub_peers_; }
+
+  /// Monotonic local-collection counter; stamped on outgoing NewSetStubs.
+  std::uint64_t next_collection_epoch() noexcept { return ++collection_epoch_; }
+
+  /// Highest NewSetStubs epoch accepted from each peer (stale-set guard).
+  [[nodiscard]] std::map<ProcessId, std::uint64_t>& newsetstubs_epochs() noexcept {
+    return newsetstubs_epochs_;
+  }
+
+  /// Per-process counters: "rm.propagations", "rm.invocations", ...
+  [[nodiscard]] const util::Metrics& metrics() const noexcept { return metrics_; }
+  util::Metrics& metrics() noexcept { return metrics_; }
+
+ private:
+  /// Creates or refreshes the scions for `object`'s enclosed references
+  /// toward `to` ("clean before send"); `seq` is recorded as the creation
+  /// horizon once the Propagate is sent.
+  void export_references(const Object& object, ProcessId to, std::uint64_t seq);
+
+  ProcessId id_;
+  net::Network* network_;
+  Heap heap_;
+  std::map<StubKey, Stub> stubs_;
+  std::map<ScionKey, Scion> scions_;
+  std::vector<InProp> in_props_;
+  std::vector<OutProp> out_props_;
+  std::map<ObjectId, std::uint32_t> transient_roots_;
+  std::map<ProcessId, std::uint64_t> delivered_prop_seq_;
+  std::set<ProcessId> stub_peers_;
+  std::uint64_t collection_epoch_{0};
+  std::map<ProcessId, std::uint64_t> newsetstubs_epochs_;
+  util::Metrics metrics_;
+};
+
+}  // namespace rgc::rm

@@ -1,0 +1,95 @@
+// Distributed-GC bookkeeping tables: stubs, scions, propagation lists.
+//
+// §2.2 of the paper:
+//  - Stub  — an outgoing inter-process reference (this process -> target).
+//  - Scion — an incoming inter-process reference (source -> this process).
+//  - inPropList / outPropList — where each replicated object came from /
+//    was propagated to, with the Unreachable/Reclaim hand-shake bits.
+//
+// §3.2 extends them with invocation counters (stubs/scions) and update
+// counters (props) that implement the optimistic race barrier of §3.5, plus
+// the summarization fields (StubsFrom/ScionsTo/ReplicasFrom/ReplicasTo,
+// LocalReach) — those live in gc/cycle/summary.h, computed from snapshots,
+// not here: the live tables carry only what the running system maintains.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace rgc::rm {
+
+/// Identifies a stub within its holder process: which object it designates
+/// and on which process the designated replica lives (SSP chains allow
+/// several stubs for the same object through different processes).
+struct StubKey {
+  ObjectId target{kNoObject};
+  ProcessId target_process{kNoProcess};
+
+  friend constexpr auto operator<=>(const StubKey&, const StubKey&) = default;
+};
+
+struct Stub {
+  StubKey key;
+  /// Invocation Counter (IC): bumped on every remote invocation through
+  /// this reference; compared against the scion's IC by the race barrier.
+  std::uint64_t ic{0};
+  /// Step at which the stub was created (diagnostics).
+  std::uint64_t created_at{0};
+};
+
+/// Identifies a scion within its holder process: the remote process that
+/// holds the reference and the local object the reference designates.
+/// (The anchor object may itself not be replicated locally; the scion then
+/// keeps the local stub chain for it alive — stub–scion chains, §2.2.4.)
+struct ScionKey {
+  ProcessId src_process{kNoProcess};
+  ObjectId anchor{kNoObject};
+
+  friend constexpr auto operator<=>(const ScionKey&, const ScionKey&) = default;
+};
+
+struct Scion {
+  ScionKey key;
+  /// Invocation Counter, twin of the matching stub's IC.
+  std::uint64_t ic{0};
+  /// Link sequence number of the Propagate message whose export created
+  /// this scion.  NewSetStubs carries the receiver's delivered-seq horizon;
+  /// a scion newer than the horizon is never deleted (guards against the
+  /// in-flight-propagation race, §2.2.4 causal ordering).
+  std::uint64_t created_seq{0};
+  /// Source objects exported at propagate time (diagnostic only; the cycle
+  /// detector identifies incoming references by link, not by source object,
+  /// which is strictly safer — see DESIGN.md §7).
+  std::vector<ObjectId> src_objects;
+};
+
+/// One entry of the inPropList: this process holds a replica of `object`
+/// propagated from `process` (the parent replica).
+struct InProp {
+  ObjectId object{kNoObject};
+  ProcessId process{kNoProcess};
+  /// Update Counter (UC): set to the sender's counter on every propagate /
+  /// update along this link.
+  std::uint64_t uc{0};
+  /// sentUmess bit of §2.2: an Unreachable message has been sent upstream
+  /// and not invalidated since.
+  bool sent_umess{false};
+  friend constexpr bool operator==(const InProp&, const InProp&) = default;
+};
+
+/// One entry of the outPropList: this process propagated its replica of
+/// `object` to `process` (a child replica).
+struct OutProp {
+  ObjectId object{kNoObject};
+  ProcessId process{kNoProcess};
+  /// Update Counter, bumped before each propagate/update along this link.
+  std::uint64_t uc{0};
+  /// recUmess bit of §2.2: the child reported itself unreachable.
+  bool rec_umess{false};
+  friend constexpr bool operator==(const OutProp&, const OutProp&) = default;
+};
+
+}  // namespace rgc::rm

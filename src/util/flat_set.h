@@ -1,0 +1,94 @@
+// A small sorted-vector set used for the CDM algebra.
+//
+// CDM source/target sets are tiny (tens of replicas) and are unioned,
+// differenced and compared constantly while a detection walks the graph, so
+// a contiguous representation beats node-based sets both in speed and in
+// serialized-size accounting (the network simulator charges message size by
+// element count).
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+namespace rgc::util {
+
+template <typename T>
+class FlatSet {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  FlatSet() = default;
+  FlatSet(std::initializer_list<T> xs) : items_(xs) { normalize(); }
+  explicit FlatSet(std::vector<T> xs) : items_(std::move(xs)) { normalize(); }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+  [[nodiscard]] const std::vector<T>& items() const noexcept { return items_; }
+
+  [[nodiscard]] bool contains(const T& x) const {
+    return std::binary_search(items_.begin(), items_.end(), x);
+  }
+
+  /// Inserts x; returns true when x was not already present.
+  bool insert(const T& x) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), x);
+    if (it != items_.end() && *it == x) return false;
+    items_.insert(it, x);
+    return true;
+  }
+
+  bool erase(const T& x) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), x);
+    if (it == items_.end() || *it != x) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  void clear() noexcept { items_.clear(); }
+
+  /// In-place union.
+  void merge(const FlatSet& other) {
+    std::vector<T> out;
+    out.reserve(items_.size() + other.items_.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(out));
+    items_ = std::move(out);
+  }
+
+  /// this \ other.
+  [[nodiscard]] FlatSet difference(const FlatSet& other) const {
+    FlatSet out;
+    std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  /// this ∩ other.
+  [[nodiscard]] FlatSet intersect(const FlatSet& other) const {
+    FlatSet out;
+    std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                          other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  [[nodiscard]] bool subset_of(const FlatSet& other) const {
+    return std::includes(other.items_.begin(), other.items_.end(),
+                         items_.begin(), items_.end());
+  }
+
+  friend bool operator==(const FlatSet&, const FlatSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<T> items_;
+};
+
+}  // namespace rgc::util

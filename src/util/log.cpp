@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace rgc::util {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace rgc::util

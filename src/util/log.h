@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Tests run with logging off by default; examples raise the level to let a
+// reader watch protocol messages flow.  The logger is deliberately global
+// and lock-free (the simulator is single-threaded by design: asynchrony is
+// modelled by the step-driven network, not by OS threads).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rgc::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr with a level tag. Used via the macros below.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace rgc::util
+
+#define RGC_LOG(level, ...)                                             \
+  do {                                                                  \
+    if ((level) >= ::rgc::util::log_level())                            \
+      ::rgc::util::log_line((level), ::rgc::util::detail::concat(__VA_ARGS__)); \
+  } while (false)
+
+#define RGC_TRACE(...) RGC_LOG(::rgc::util::LogLevel::kTrace, __VA_ARGS__)
+#define RGC_DEBUG(...) RGC_LOG(::rgc::util::LogLevel::kDebug, __VA_ARGS__)
+#define RGC_INFO(...) RGC_LOG(::rgc::util::LogLevel::kInfo, __VA_ARGS__)
+#define RGC_WARN(...) RGC_LOG(::rgc::util::LogLevel::kWarn, __VA_ARGS__)

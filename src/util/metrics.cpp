@@ -1,0 +1,22 @@
+#include "util/metrics.h"
+
+namespace rgc::util {
+
+void Metrics::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t Metrics::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::reset() {
+  for (auto& [name, value] : counters_) value = 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::snapshot() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+}  // namespace rgc::util

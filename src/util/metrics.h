@@ -1,0 +1,35 @@
+// Named monotonic counters.
+//
+// Every subsystem reports into one registry (messages sent per kind, CDMs
+// issued, scions cut, objects reclaimed, detections aborted by the race
+// barrier, ...).  The benchmark harness reads the registry to print the
+// paper's tables; tests use it to assert protocol economy (e.g. Figure 8's
+// "fewer CDMs than the baseline").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rgc::util {
+
+class Metrics {
+ public:
+  /// Adds delta to the named counter, creating it at zero if absent.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value; zero when the counter was never touched.
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+
+  /// Resets every counter to zero but keeps the names registered.
+  void reset();
+
+  /// Stable (name, value) listing for reports.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace rgc::util

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole world (network jitter, workload generation, mutator schedules)
+// derives from one seed, so every test and benchmark run is reproducible.
+// xoshiro256** is used instead of std::mt19937 because its state is small
+// enough to copy into forked sub-generators cheaply and its output is
+// identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace rgc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Derives an independent generator; used to give each process its own
+  /// stream so adding randomness in one place does not shift another's.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rgc::util

@@ -1,0 +1,130 @@
+#include "workload/figures.h"
+
+namespace rgc::workload {
+
+ObjectId make_remote_ref(core::Cluster& cluster, ProcessId from_proc,
+                         ObjectId from_obj, ProcessId to_proc,
+                         ObjectId to_obj) {
+  const ObjectId courier = cluster.new_object(to_proc);
+  cluster.add_root(to_proc, courier);
+  cluster.add_ref(to_proc, courier, to_obj);
+  cluster.propagate(courier, to_proc, from_proc);
+  cluster.run_until_quiescent();
+  // The courier's replica imported the reference, so from_proc now holds a
+  // stub for to_obj and may copy the reference (§2.1.2).
+  cluster.add_ref(from_proc, from_obj, to_obj);
+  cluster.remove_root(to_proc, courier);
+  return courier;
+}
+
+void settle(core::Cluster& cluster, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+}
+
+Figure1 build_figure1(core::Cluster& cluster) {
+  Figure1 f{};
+  f.p1 = cluster.add_process();
+  f.p2 = cluster.add_process();
+  f.p3 = cluster.add_process();
+
+  f.x = cluster.new_object(f.p1);
+  f.z = cluster.new_object(f.p3);
+  cluster.add_root(f.p1, f.x);  // construction root, removed below
+
+  // X replicated onto P2 before it acquires references, matching the
+  // figure (only X@P1 holds the reference to Z).
+  cluster.propagate(f.x, f.p1, f.p2);
+  cluster.run_until_quiescent();
+  make_remote_ref(cluster, f.p1, f.x, f.p3, f.z);
+
+  cluster.add_root(f.p2, f.x);    // "X_P2 is locally reachable"
+  cluster.remove_root(f.p1, f.x); // "X_P1 ... is not locally reachable"
+  settle(cluster);
+  return f;
+}
+
+Figure2 build_figure2(core::Cluster& cluster) {
+  Figure2 f{};
+  f.p1 = cluster.add_process();
+  f.p2 = cluster.add_process();
+  f.p3 = cluster.add_process();
+  f.p4 = cluster.add_process();
+
+  f.x = cluster.new_object(f.p1);
+  f.y = cluster.new_object(f.p4);
+  cluster.add_root(f.p1, f.x);
+  cluster.add_root(f.p4, f.y);
+
+  // Propagate while ref-less so the replicas match the figure exactly:
+  // only X'@P2 references Y, only Y'@P3 references X.
+  cluster.propagate(f.x, f.p1, f.p2);
+  cluster.propagate(f.y, f.p4, f.p3);
+  cluster.run_until_quiescent();
+
+  make_remote_ref(cluster, f.p2, f.x, f.p4, f.y);  // X'@P2 -> Y@P4
+  make_remote_ref(cluster, f.p3, f.y, f.p1, f.x);  // Y'@P3 -> X@P1
+
+  cluster.remove_root(f.p1, f.x);
+  cluster.remove_root(f.p4, f.y);
+  settle(cluster);
+  return f;
+}
+
+Figure3 build_figure3(core::Cluster& cluster) {
+  Figure3 f{};
+  f.p1 = cluster.add_process();
+  f.p2 = cluster.add_process();
+  f.p3 = cluster.add_process();
+  f.p4 = cluster.add_process();
+  f.p5 = cluster.add_process();
+  f.p6 = cluster.add_process();
+
+  f.c = cluster.new_object(f.p1);
+  f.b = cluster.new_object(f.p1);
+  f.e = cluster.new_object(f.p3);
+  f.f = cluster.new_object(f.p6);
+  f.i = cluster.new_object(f.p5);
+
+  cluster.add_root(f.p1, f.c);
+  cluster.add_root(f.p3, f.e);
+  cluster.add_root(f.p6, f.f);
+  cluster.add_root(f.p5, f.i);
+
+  cluster.add_ref(f.p1, f.c, f.b);  // C -> B, local on P1
+
+  cluster.propagate(f.b, f.p1, f.p2);  // B ⇢ B'@P2 (ref-less replica)
+  cluster.propagate(f.f, f.p6, f.p3);  // F ⇢ F'@P3
+  cluster.propagate(f.f, f.p6, f.p5);  // F ⇢ F''@P5
+  cluster.run_until_quiescent();
+
+  cluster.add_ref(f.p3, f.e, f.f);  // E -> F'  (local on P3)
+  cluster.add_ref(f.p5, f.f, f.i);  // F'' -> I (local on P5; replicas diverge)
+
+  cluster.propagate(f.i, f.p5, f.p4);  // I ⇢ I'@P4 (still ref-less)
+  cluster.run_until_quiescent();
+
+  make_remote_ref(cluster, f.p2, f.b, f.p3, f.e);  // B'@P2 -> E@P3
+  make_remote_ref(cluster, f.p2, f.b, f.p5, f.i);  // B'@P2 -> I@P5
+  make_remote_ref(cluster, f.p4, f.i, f.p1, f.c);  // I'@P4 -> C@P1
+
+  cluster.remove_root(f.p1, f.c);
+  cluster.remove_root(f.p3, f.e);
+  cluster.remove_root(f.p6, f.f);
+  cluster.remove_root(f.p5, f.i);
+  settle(cluster);
+  return f;
+}
+
+Figure4 build_figure4(core::Cluster& cluster) {
+  const Figure2 base = build_figure2(cluster);
+  Figure4 f{base.p1, base.p2, base.p3, base.p4, base.x, base.y};
+  // The cycle is *live*: P1's mutator still holds X in a global.
+  cluster.add_root(f.p1, f.x);
+  settle(cluster);
+  return f;
+}
+
+}  // namespace rgc::workload

@@ -1,0 +1,68 @@
+// Builders for the paper's worked-example topologies (Figures 1–4).
+//
+// All construction uses only model-legal operations: inter-process
+// references come into existence exclusively through object propagation
+// (§2.1.2), so each remote reference is built by the "courier" pattern —
+// propagate a temporary object enclosing the reference, copy the reference
+// locally, drop the courier.  settle() then runs acyclic-GC rounds that
+// reclaim the couriers, leaving exactly the figure's shape (the figures'
+// garbage is cyclic/replicated, which the acyclic protocol provably
+// preserves — that is the paper's point).
+#pragma once
+
+#include "core/cluster.h"
+#include "util/ids.h"
+
+namespace rgc::workload {
+
+/// Creates `from_obj`@`from_proc` -> `to_obj`@`to_proc` through a courier
+/// propagation.  `to_obj` must be local to `to_proc`, `from_obj` local to
+/// `from_proc`.  Returns the courier's id (it becomes acyclic garbage).
+ObjectId make_remote_ref(core::Cluster& cluster, ProcessId from_proc,
+                         ObjectId from_obj, ProcessId to_proc,
+                         ObjectId to_obj);
+
+/// Runs acyclic collection rounds (LGC + ADGC + quiescence) until the
+/// construction couriers are gone or `rounds` is exhausted.
+void settle(core::Cluster& cluster, int rounds = 8);
+
+/// Figure 1 — the Union-Rule safety scenario: X replicated on P1 and P2,
+/// X@P1 references Z@P3, X@P1 locally unreachable but X@P2 rooted.
+/// A replication-blind DGC would reclaim Z; a safe one must not.
+struct Figure1 {
+  ProcessId p1, p2, p3;
+  ObjectId x, z;
+};
+Figure1 build_figure1(core::Cluster& cluster);
+
+/// Figure 2 — the 4-process replicated garbage cycle:
+///   X@P1 ⇢ X'@P2 (prop), X'@P2 -> Y@P4 (ref),
+///   Y@P4 ⇢ Y'@P3 (prop), Y'@P3 -> X@P1 (ref).
+/// Nothing is rooted: the whole cycle is garbage, invisible to the acyclic
+/// protocol, detectable only by the cycle detector.
+struct Figure2 {
+  ProcessId p1, p2, p3, p4;
+  ObjectId x, y;
+};
+Figure2 build_figure2(core::Cluster& cluster);
+
+/// Figure 3 — six processes, two detection paths:
+///   C@P1 -> B@P1 (local), B ⇢ B'@P2, B'@P2 -> E@P3, B'@P2 -> I@P5,
+///   E@P3 -> F'@P3 (local), F@P6 ⇢ F'@P3, F@P6 ⇢ F''@P5,
+///   F''@P5 -> I@P5 (local), I@P5 ⇢ I'@P4, I'@P4 -> C@P1.
+/// All garbage; one detection track aborts, the other closes the cycle.
+struct Figure3 {
+  ProcessId p1, p2, p3, p4, p5, p6;
+  ObjectId c, b, e, f, i;
+};
+Figure3 build_figure3(core::Cluster& cluster);
+
+/// Figure 4 — the race-condition graph: Figure 2's cycle kept alive by a
+/// local root at P1 pointing to X.
+struct Figure4 {
+  ProcessId p1, p2, p3, p4;
+  ObjectId x, y;
+};
+Figure4 build_figure4(core::Cluster& cluster);
+
+}  // namespace rgc::workload

@@ -1,0 +1,70 @@
+#include "workload/mesh.h"
+
+#include <stdexcept>
+
+#include "workload/figures.h"
+
+namespace rgc::workload {
+
+Mesh build_mesh(core::Cluster& cluster, const MeshSpec& spec) {
+  if (spec.processes < 2) {
+    throw std::invalid_argument("mesh needs at least two processes");
+  }
+  Mesh mesh;
+  for (std::size_t i = 0; i < spec.processes; ++i) {
+    mesh.procs.push_back(cluster.add_process());
+  }
+
+  const std::size_t laps = (spec.dependencies + 1) / 2;
+  const std::size_t hops = laps * spec.processes;
+
+  mesh.head = cluster.new_object(mesh.procs[0]);
+  mesh.head_process = mesh.procs[0];
+  mesh.strand.push_back(mesh.head);
+  cluster.add_root(mesh.head_process, mesh.head);  // construction root
+
+  ObjectId current = mesh.head;
+  std::size_t at = 0;  // index into procs
+  for (std::size_t hop = 0; hop < hops; ++hop) {
+    const ProcessId here = mesh.procs[at];
+    const std::size_t next_at = (at + 1) % spec.processes;
+    const ProcessId next = mesh.procs[next_at];
+
+    // Propagation edge of the triangle.
+    cluster.propagate(current, here, next);
+    ++mesh.total_links;
+    // Bystander replicas (replication factor without reference fan-in).
+    for (std::size_t b = 1; b <= spec.extra_replicas; ++b) {
+      const ProcessId bystander =
+          mesh.procs[(at + 1 + b) % spec.processes];
+      if (bystander == here) continue;
+      cluster.propagate(current, here, bystander);
+      ++mesh.total_links;
+    }
+    cluster.run_until_quiescent();
+
+    const ObjectId target = cluster.new_object(next);
+    mesh.strand.push_back(target);
+
+    // Local edge X@next -> target ...
+    cluster.add_ref(next, current, target);
+    // ... and the remote reference edge X@here -> target.
+    make_remote_ref(cluster, here, current, next, target);
+    ++mesh.total_links;
+
+    current = target;
+    at = next_at;
+  }
+
+  // Close the spanning cycle with a local edge back to the head.  (Closing
+  // with a remote reference would degenerate on small rings: the closing
+  // process may already hold a replica of the head, which resolves the
+  // imported reference locally and leaves no stub–scion pair.)
+  cluster.add_ref(mesh.procs[at], current, mesh.head);
+
+  cluster.remove_root(mesh.head_process, mesh.head);
+  settle(cluster);
+  return mesh;
+}
+
+}  // namespace rgc::workload

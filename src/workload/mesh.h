@@ -1,0 +1,55 @@
+// Replicated triangle-mesh ring — the scalability workload of §5.2.
+//
+// "Each synthetic graph consists on a triangle mesh in which each triangle
+// forms a cycle ... with four replicated nodes and 100 dependencies, we
+// have 4 physical nodes with 100 links to any of the other three physical
+// nodes.  All these links are connected in a large cycle of garbage which
+// spans all 4 nodes."
+//
+// Construction: a chain of strand objects walks the process ring.  Each hop
+// from Pj to Pj+1 builds one triangle:
+//
+//     X@Pj ⇢ X@Pj+1        (propagation link)
+//     X@Pj+1 -> Z  locally  (Z is the next strand object, created on Pj+1)
+//     X@Pj  -> Z  remotely  (reference link)
+//
+// i.e. two inter-process dependencies per hop, one of each kind.  With
+// `laps` trips around the ring every adjacent pair carries 2·laps
+// dependencies; the final hop reconnects to the head, closing one garbage
+// cycle spanning every process.  Optionally each strand object is also
+// propagated to `extra_replicas` bystander processes, raising the
+// replication factor without changing the cycle's reference skeleton.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster.h"
+#include "util/ids.h"
+
+namespace rgc::workload {
+
+struct MeshSpec {
+  /// Number of processes (the paper's "replicated nodes"), >= 2.
+  std::size_t processes{4};
+  /// Inter-process dependencies (remote references + propagations) between
+  /// each adjacent pair of processes; the chain makes ceil(D/2) laps.
+  std::size_t dependencies{10};
+  /// Bystander replicas per strand object (propagated, never referenced).
+  std::size_t extra_replicas{0};
+};
+
+struct Mesh {
+  std::vector<ProcessId> procs;
+  /// First strand object — the natural detection candidate.
+  ObjectId head{kNoObject};
+  ProcessId head_process{kNoProcess};
+  /// Every strand object, in chain order.
+  std::vector<ObjectId> strand;
+  /// Total inter-process links built (props + remote refs).
+  std::size_t total_links{0};
+};
+
+Mesh build_mesh(core::Cluster& cluster, const MeshSpec& spec);
+
+}  // namespace rgc::workload

@@ -1,0 +1,184 @@
+#include "workload/random_mutator.h"
+
+#include <array>
+#include <deque>
+#include <set>
+#include <vector>
+
+namespace rgc::workload {
+namespace {
+
+/// What one process's mutator can currently touch: local objects reachable
+/// from its roots (mutator + in-flight invocation handles) through local
+/// bindings, plus the remote targets those objects hold references to.
+///
+/// Restricting the op stream to this set is not a convenience — it is the
+/// RM model's mutator contract (§2.1): a reference can only be assigned,
+/// copied, rooted or invoked by an application that *holds* it.  The race
+/// barrier's correctness argument (§3.5.2) leans on exactly this: every way
+/// a mutator can regain access to a quiescent replica passes through a
+/// propagation or invocation, which bumps a counter the detector checks.
+struct ReachableState {
+  std::vector<ObjectId> local_objects;
+  std::vector<ObjectId> remote_targets;
+};
+
+ReachableState mutator_view(const rm::Process& proc) {
+  ReachableState out;
+  std::set<ObjectId> seen_local;
+  std::set<ObjectId> seen_remote;
+  std::deque<ObjectId> work;
+
+  auto touch = [&](ObjectId id) {
+    if (proc.has_replica(id)) {
+      if (seen_local.insert(id).second) work.push_back(id);
+    } else if (!proc.stubs_for(id).empty()) {
+      seen_remote.insert(id);
+    }
+  };
+  for (ObjectId root : proc.heap().roots()) touch(root);
+  for (const auto& [obj, ttl] : proc.transient_roots()) touch(obj);
+
+  while (!work.empty()) {
+    const ObjectId cur = work.front();
+    work.pop_front();
+    const rm::Object* obj = proc.heap().find(cur);
+    if (obj == nullptr) continue;
+    for (const rm::Ref& r : obj->refs) {
+      if (r.is_local()) {
+        touch(r.target);
+      } else {
+        seen_remote.insert(r.target);
+      }
+    }
+  }
+  out.local_objects.assign(seen_local.begin(), seen_local.end());
+  out.remote_targets.assign(seen_remote.begin(), seen_remote.end());
+  return out;
+}
+
+}  // namespace
+
+RandomMutator::RandomMutator(core::Cluster& cluster, MutatorSpec spec)
+    : cluster_(cluster), spec_(spec), rng_(spec.seed) {}
+
+ProcessId RandomMutator::random_process() {
+  const auto ids = cluster_.process_ids();
+  return ids[rng_.below(ids.size())];
+}
+
+ObjectId RandomMutator::random_local(ProcessId p) {
+  const auto view = mutator_view(cluster_.process(p));
+  if (view.local_objects.empty()) return kNoObject;
+  return view.local_objects[rng_.below(view.local_objects.size())];
+}
+
+ObjectId RandomMutator::random_known(ProcessId p) {
+  const auto view = mutator_view(cluster_.process(p));
+  std::vector<ObjectId> pool = view.local_objects;
+  pool.insert(pool.end(), view.remote_targets.begin(),
+              view.remote_targets.end());
+  if (pool.empty()) return kNoObject;
+  return pool[rng_.below(pool.size())];
+}
+
+void RandomMutator::run(std::size_t ops) {
+  for (std::size_t i = 0; i < ops; ++i) step_once();
+}
+
+void RandomMutator::step_once() {
+  const std::array<std::uint32_t, 9> weights{
+      spec_.w_create,  spec_.w_add_ref,  spec_.w_remove_ref,
+      spec_.w_add_root, spec_.w_remove_root, spec_.w_propagate,
+      spec_.w_invoke,  spec_.w_step,     spec_.w_collect};
+  std::uint64_t total = 0;
+  for (auto w : weights) total += w;
+  std::uint64_t pick = rng_.below(total);
+  std::size_t op = 0;
+  while (pick >= weights[op]) {
+    pick -= weights[op];
+    ++op;
+  }
+
+  const ProcessId p = random_process();
+  rm::Process& proc = cluster_.process(p);
+  switch (op) {
+    case 0: {  // create
+      if (proc.heap().size() >= spec_.max_objects_per_process) return;
+      const ObjectId obj = cluster_.new_object(p);
+      // Fresh objects start rooted half the time, mirroring allocation
+      // into a live variable vs. into a soon-dropped temporary.
+      if (rng_.chance(0.5)) cluster_.add_root(p, obj);
+      ++executed_;
+      return;
+    }
+    case 1: {  // add_ref: copy a held reference into a held object
+      const ObjectId from = random_local(p);
+      const ObjectId to = random_known(p);
+      if (from == kNoObject || to == kNoObject) return;
+      cluster_.add_ref(p, from, to);
+      ++executed_;
+      return;
+    }
+    case 2: {  // remove_ref from a held object
+      const ObjectId from = random_local(p);
+      if (from == kNoObject) return;
+      const rm::Object* obj = proc.heap().find(from);
+      if (obj == nullptr || obj->refs.empty()) return;
+      const ObjectId to = obj->refs[rng_.below(obj->refs.size())].target;
+      cluster_.remove_ref(p, from, to);
+      ++executed_;
+      return;
+    }
+    case 3: {  // add_root: store a held reference into a global
+      const ObjectId target = random_known(p);
+      if (target == kNoObject) return;
+      cluster_.add_root(p, target);
+      ++executed_;
+      return;
+    }
+    case 4: {  // remove_root
+      const auto& roots = proc.heap().roots();
+      if (roots.empty()) return;
+      auto it = roots.begin();
+      std::advance(it, static_cast<long>(rng_.below(roots.size())));
+      cluster_.remove_root(p, *it);
+      ++executed_;
+      return;
+    }
+    case 5: {  // propagate a held replica
+      if (cluster_.process_count() < 2) return;
+      const ObjectId obj = random_local(p);
+      if (obj == kNoObject) return;
+      ProcessId to = random_process();
+      if (to == p) return;
+      cluster_.propagate(obj, p, to);
+      ++executed_;
+      return;
+    }
+    case 6: {  // invoke through a held remote reference
+      const auto view = mutator_view(proc);
+      std::vector<ObjectId> callable;
+      for (ObjectId t : view.remote_targets) {
+        if (!proc.stubs_for(t).empty()) callable.push_back(t);
+      }
+      if (callable.empty()) return;
+      cluster_.invoke(p, callable[rng_.below(callable.size())],
+                      static_cast<std::uint32_t>(1 + rng_.below(3)));
+      ++executed_;
+      return;
+    }
+    case 7:  // network step
+      cluster_.step();
+      ++executed_;
+      return;
+    case 8:  // local collection + acyclic round on one process
+      cluster_.collect(p);
+      ++executed_;
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace rgc::workload

@@ -1,0 +1,59 @@
+// Random workload driver for property-based testing.
+//
+// Applies a stream of model-legal mutator and coherence operations to a
+// cluster: object creation, reference assignment/removal, root churn,
+// propagation, remote invocation, interleaved with network steps and
+// occasional local collections — the adversarial environment §3.5's race
+// barrier exists for.  Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace rgc::workload {
+
+struct MutatorSpec {
+  std::uint64_t seed{42};
+  /// Relative weights of the operations.
+  std::uint32_t w_create{10};
+  std::uint32_t w_add_ref{30};
+  std::uint32_t w_remove_ref{15};
+  std::uint32_t w_add_root{8};
+  std::uint32_t w_remove_root{8};
+  std::uint32_t w_propagate{15};
+  std::uint32_t w_invoke{6};
+  std::uint32_t w_step{20};
+  std::uint32_t w_collect{4};
+  /// Soft cap on objects per process (creation is skipped beyond it).
+  std::size_t max_objects_per_process{200};
+};
+
+class RandomMutator {
+ public:
+  RandomMutator(core::Cluster& cluster, MutatorSpec spec);
+
+  /// Executes `ops` operation attempts (illegal picks are skipped).
+  void run(std::size_t ops);
+
+  /// One operation attempt.
+  void step_once();
+
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  ProcessId random_process();
+  /// A random object locally replicated on `p`, or kNoObject.
+  ObjectId random_local(ProcessId p);
+  /// A random object resolvable on `p` (replica or stub), or kNoObject.
+  ObjectId random_known(ProcessId p);
+
+  core::Cluster& cluster_;
+  MutatorSpec spec_;
+  util::Rng rng_;
+  std::uint64_t executed_{0};
+};
+
+}  // namespace rgc::workload

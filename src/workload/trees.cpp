@@ -1,0 +1,102 @@
+#include "workload/trees.h"
+
+#include <stdexcept>
+
+#include "workload/figures.h"
+
+namespace rgc::workload {
+
+Tree build_tree(core::Cluster& cluster, const TreeSpec& spec) {
+  if (spec.fanout == 0 || spec.processes == 0) {
+    throw std::invalid_argument("tree needs fanout and processes >= 1");
+  }
+  Tree tree;
+  const auto existing = cluster.process_ids();
+  if (existing.size() >= spec.processes) {
+    tree.procs.assign(existing.begin(),
+                      existing.begin() + static_cast<long>(spec.processes));
+  } else {
+    tree.procs = existing;
+    while (tree.procs.size() < spec.processes) {
+      tree.procs.push_back(cluster.add_process());
+    }
+  }
+
+  tree.root_process = tree.procs[0];
+  tree.root = cluster.new_object(tree.root_process);
+  cluster.add_root(tree.root_process, tree.root);
+  tree.nodes.push_back(tree.root);
+
+  struct Level {
+    std::vector<std::pair<ObjectId, ProcessId>> nodes;
+  };
+  Level current;
+  current.nodes.push_back({tree.root, tree.root_process});
+
+  for (std::size_t depth = 1; depth <= spec.depth; ++depth) {
+    Level next;
+    for (const auto& [parent, parent_proc] : current.nodes) {
+      for (std::size_t k = 0; k < spec.fanout; ++k) {
+        const ProcessId child_proc =
+            tree.procs[(raw(parent_proc) + 1 + k) % tree.procs.size()];
+        const ObjectId child = cluster.new_object(child_proc);
+        tree.nodes.push_back(child);
+        if (child_proc == parent_proc) {
+          cluster.add_ref(parent_proc, parent, child);
+        } else {
+          make_remote_ref(cluster, parent_proc, parent, child_proc, child);
+        }
+        ++tree.edges;
+        next.nodes.push_back({child, child_proc});
+      }
+      if (spec.replicate_internals && !next.nodes.empty()) {
+        const ProcessId to = next.nodes.back().second;
+        if (to != parent_proc) {
+          cluster.propagate(parent, parent_proc, to);
+        }
+      }
+    }
+    cluster.run_until_quiescent();
+    current = std::move(next);
+  }
+  settle(cluster);
+  return tree;
+}
+
+TreeRing build_tree_ring(core::Cluster& cluster, const TreeSpec& spec,
+                         std::size_t count) {
+  if (count < 2) throw std::invalid_argument("a ring needs >= 2 trees");
+  TreeRing ring;
+  for (std::size_t i = 0; i < count; ++i) {
+    ring.trees.push_back(build_tree(cluster, spec));
+    ring.total_nodes += ring.trees.back().nodes.size();
+  }
+  // Tip-to-root links closing the ring.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tree& from = ring.trees[i];
+    const Tree& to = ring.trees[(i + 1) % count];
+    const ObjectId tip = from.nodes.back();
+    // The tip lives on some process; find it.
+    ProcessId tip_proc = kNoProcess;
+    for (ProcessId p : from.procs) {
+      if (cluster.process(p).has_replica(tip)) {
+        tip_proc = p;
+        break;
+      }
+    }
+    if (tip_proc == to.root_process) {
+      cluster.add_ref(tip_proc, tip, to.root);
+    } else {
+      make_remote_ref(cluster, tip_proc, tip, to.root_process, to.root);
+    }
+  }
+  // Drop every tree's mutator root: the composite is now garbage — an
+  // acyclic bulk hanging off a cyclic spine.
+  for (const Tree& tree : ring.trees) {
+    cluster.remove_root(tree.root_process, tree.root);
+  }
+  settle(cluster);
+  return ring;
+}
+
+}  // namespace rgc::workload

@@ -1,0 +1,50 @@
+// Structured bulk workloads: replicated trees, deep chains and churn —
+// the shapes a real store produces at volume, used by scale/property
+// tests beyond the paper-figure topologies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster.h"
+#include "util/ids.h"
+
+namespace rgc::workload {
+
+struct TreeSpec {
+  /// Branching factor and depth of the tree (node count ~ fanout^depth).
+  std::size_t fanout{2};
+  std::size_t depth{4};
+  /// Processes participating; nodes are distributed level-round-robin.
+  std::size_t processes{3};
+  /// Replicate every internal node onto the shard of its first child
+  /// (creating inter-level prop links in addition to the edges).
+  bool replicate_internals{true};
+};
+
+struct Tree {
+  std::vector<ProcessId> procs;
+  ObjectId root{kNoObject};
+  ProcessId root_process{kNoProcess};
+  std::vector<ObjectId> nodes;  // breadth-first
+  std::size_t edges{0};
+};
+
+/// Builds a rooted tree spanning the processes; the root is held by a
+/// mutator root on its process.  Dropping that root turns the whole tree
+/// (with its replicas) into garbage — acyclic, so the reference-listing
+/// machinery alone must reclaim it.
+Tree build_tree(core::Cluster& cluster, const TreeSpec& spec);
+
+/// Links `count` trees tip-to-root into a ring (tree_i's deepest leaf
+/// references tree_{i+1}'s root), then drops every tree root: a large
+/// composite garbage structure whose spine is a cycle and whose bulk is
+/// acyclic — exercises the acyclic/cyclic hand-off at volume.
+struct TreeRing {
+  std::vector<Tree> trees;
+  std::size_t total_nodes{0};
+};
+TreeRing build_tree_ring(core::Cluster& cluster, const TreeSpec& spec,
+                         std::size_t count);
+
+}  // namespace rgc::workload

@@ -1,0 +1,294 @@
+// Integration tests: the acyclic replication-aware DGC protocol —
+// NewSetStubs scion matching + causality horizon, Unreachable/Reclaim
+// hand-shake, end-to-end acyclic reclamation of replicated garbage.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace rgc::gc {
+namespace {
+
+using core::Cluster;
+
+TEST(Adgc, NewSetStubsDeletesOrphanScions) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  ASSERT_TRUE(cluster.process(p1).scions().contains(rm::ScionKey{p2, b}));
+
+  // p2's replica stops referencing b; its stub dies at the next collection
+  // and the NewSetStubs round deletes the orphan scion.
+  cluster.remove_ref(p2, a, b);
+  cluster.collect(p2);
+  cluster.run_until_quiescent();
+  EXPECT_FALSE(cluster.process(p1).scions().contains(rm::ScionKey{p2, b}))
+      << "scion without a matching stub must be deleted";
+}
+
+TEST(Adgc, NewSetStubsKeepsMatchedScions) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.add_root(p2, a);
+
+  for (int i = 0; i < 3; ++i) {
+    cluster.collect(p2);
+    cluster.run_until_quiescent();
+  }
+  EXPECT_TRUE(cluster.process(p1).scions().contains(rm::ScionKey{p2, b}));
+  cluster.collect(p1);
+  EXPECT_TRUE(cluster.process(p1).heap().contains(b))
+      << "remotely referenced object must survive local collections";
+}
+
+TEST(Adgc, HorizonProtectsScionOfInFlightPropagate) {
+  // A NewSetStubs computed before a propagate was delivered must not kill
+  // the scion that the propagate's export just created.
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p2);
+  const ObjectId b = cluster.new_object(p2);
+  cluster.add_root(p2, a);
+  cluster.add_ref(p2, a, b);
+
+  // Give p2's object a second reference c so p1 permanently keeps one stub
+  // toward p2 (the peer relation stays alive for NewSetStubs rounds).
+  const ObjectId c = cluster.new_object(p2);
+  cluster.add_ref(p2, a, c);
+  cluster.propagate(a, p2, p1);
+  cluster.run_until_quiescent();
+  cluster.add_root(p1, c);  // pin the c-stub through a register
+
+  // p1's replica stops referencing b; its stub dies, the scion follows.
+  cluster.remove_ref(p1, a, b);
+  cluster.remove_ref(p1, a, c);
+  cluster.collect(p1);
+  cluster.run_until_quiescent();
+  ASSERT_FALSE(cluster.process(p2).scions().contains(rm::ScionKey{p1, b}));
+  ASSERT_TRUE(cluster.process(p1).stub_peers().contains(p2));
+
+  // Now p2 re-propagates a (re-exporting the scion for b) while p1
+  // concurrently announces a stub set computed before the propagate lands.
+  cluster.propagate(a, p2, p1);
+  cluster.collect(p1);  // NewSetStubs without b, horizon predates the export
+  cluster.run_until_quiescent();
+
+  EXPECT_TRUE(cluster.process(p2).scions().contains(rm::ScionKey{p1, b}))
+      << "horizon guard must protect the freshly exported scion";
+  EXPECT_TRUE(cluster.process(p1).stubs().contains(rm::StubKey{b, p2}));
+}
+
+TEST(Adgc, UnreachableReportedOnlyWhenChildIsFullyUnanchored) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.add_root(p2, a);
+
+  cluster.collect(p2);
+  cluster.run_until_quiescent();
+  EXPECT_FALSE(cluster.process(p1).find_out_prop(a, p2)->rec_umess)
+      << "rooted child must not report Unreachable";
+
+  cluster.remove_root(p2, a);
+  cluster.collect(p2);
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.process(p1).find_out_prop(a, p2)->rec_umess);
+  EXPECT_TRUE(cluster.process(p2).find_in_prop(a, p1)->sent_umess);
+}
+
+TEST(Adgc, ReclaimDismantlesTwoLevelTree) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.propagate(a, p2, p3);  // grandchild
+  cluster.run_until_quiescent();
+
+  // Nothing roots any replica: the whole propagation tree is garbage.
+  for (int i = 0; i < 6; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_FALSE(cluster.process(p1).heap().contains(a));
+  EXPECT_FALSE(cluster.process(p2).heap().contains(a));
+  EXPECT_FALSE(cluster.process(p3).heap().contains(a));
+  EXPECT_TRUE(cluster.process(p1).out_props().empty());
+  EXPECT_TRUE(cluster.process(p2).in_props().empty());
+  EXPECT_TRUE(cluster.process(p2).out_props().empty());
+  EXPECT_TRUE(cluster.process(p3).in_props().empty());
+}
+
+TEST(Adgc, LiveGrandchildKeepsWholeTree) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.propagate(a, p2, p3);
+  cluster.run_until_quiescent();
+  cluster.add_root(p3, a);  // the leaf is live
+
+  for (int i = 0; i < 6; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_TRUE(cluster.process(p1).heap().contains(a))
+      << "Union Rule: an ancestor replica of a live replica must survive";
+  EXPECT_TRUE(cluster.process(p2).heap().contains(a));
+  EXPECT_TRUE(cluster.process(p3).heap().contains(a));
+}
+
+TEST(Adgc, StaleUnreachableIgnoredAfterRepropagation) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  // Child reports unreachable; concurrently the parent re-propagates.
+  cluster.collect(p2);           // queues Unreachable with the old UC
+  cluster.propagate(a, p1, p2);  // bumps the UC and clears rec bits
+  cluster.run_until_quiescent();
+
+  EXPECT_FALSE(cluster.process(p1).find_out_prop(a, p2)->rec_umess)
+      << "an Unreachable crossed by a re-propagation must be discarded";
+  EXPECT_EQ(cluster.process(p1).metrics().get("adgc.unreachable_stale"), 1u);
+}
+
+TEST(Adgc, AcyclicReplicatedGarbageFullyReclaimed) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  cluster.remove_root(p1, a);
+  for (int i = 0; i < 8; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_EQ(cluster.total_objects(), 0u);
+  EXPECT_TRUE(cluster.process(p1).scions().empty());
+  EXPECT_TRUE(cluster.process(p2).stubs().empty());
+}
+
+TEST(Adgc, EmptyNewSetStubsForgetsPeer) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  ASSERT_TRUE(cluster.process(p2).stub_peers().contains(p1));
+
+  cluster.remove_ref(p2, a, b);
+  cluster.collect(p2);  // stub dies; empty set announced; peer forgotten
+  cluster.run_until_quiescent();
+  EXPECT_FALSE(cluster.process(p2).stub_peers().contains(p1));
+}
+
+TEST(Adgc, ScionBeforeStubCausalOrder) {
+  // §2.2.4: "scions are always created before the corresponding stubs".
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  EXPECT_TRUE(cluster.process(p1).scions().contains(rm::ScionKey{p2, b}));
+  EXPECT_FALSE(cluster.process(p2).stubs().contains(rm::StubKey{b, p1}));
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.process(p2).stubs().contains(rm::StubKey{b, p1}));
+}
+
+TEST(Adgc, OutPropBeforeInPropCausalOrder) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.propagate(a, p1, p2);
+  EXPECT_NE(cluster.process(p1).find_out_prop(a, p2), nullptr);
+  EXPECT_EQ(cluster.process(p2).find_in_prop(a, p1), nullptr);
+  cluster.run_until_quiescent();
+  EXPECT_NE(cluster.process(p2).find_in_prop(a, p1), nullptr);
+}
+
+TEST(Adgc, DiamondPropagationStillFullyReclaimed) {
+  // a replicated p1->p2, then p1->p3 and p2->p3: p3 has two parents.
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.propagate(a, p1, p3);
+  cluster.propagate(a, p2, p3);
+  cluster.run_until_quiescent();
+  ASSERT_EQ(cluster.process(p3).in_props().size(), 2u);
+
+  cluster.remove_root(p1, a);
+  for (int i = 0; i < 10; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_EQ(cluster.total_objects(), 0u)
+      << "diamond-replicated garbage must still be fully reclaimed";
+}
+
+TEST(Adgc, CollectIsIdempotentOnLiveData) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.add_root(p2, a);
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_TRUE(cluster.process(p1).heap().contains(a));
+  EXPECT_TRUE(cluster.process(p1).heap().contains(b));
+  EXPECT_TRUE(cluster.process(p2).heap().contains(a));
+}
+
+}  // namespace
+}  // namespace rgc::gc

@@ -1,0 +1,104 @@
+// Chaos tests: everything at once — random mutation, the background GC
+// daemon, fault injection (loss, duplication, jitter) — with the oracle
+// checking safety after every burst and completeness at the end.
+#include <gtest/gtest.h>
+
+#include "core/daemon.h"
+#include "core/oracle.h"
+#include "workload/random_mutator.h"
+
+namespace rgc {
+namespace {
+
+using core::CandidatePolicy;
+using core::Cluster;
+using core::ClusterConfig;
+using core::GcDaemon;
+using core::Oracle;
+
+struct ChaosCase {
+  std::uint64_t seed;
+  std::size_t processes;
+  double drop;
+  double dup;
+  std::uint32_t max_delay;
+  CandidatePolicy policy;
+};
+
+class Chaos : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(Chaos, SafetyUnderEverything) {
+  const ChaosCase param = GetParam();
+  ClusterConfig cfg;
+  cfg.net.seed = param.seed;
+  cfg.net.drop_probability = param.drop;
+  cfg.net.duplicate_probability = param.dup;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = param.max_delay;
+  cfg.candidates = param.policy;
+  cfg.candidate_threshold = 2;
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
+
+  workload::MutatorSpec spec;
+  spec.seed = param.seed * 7919 + 31;
+  spec.w_collect = 0;  // the daemon collects
+  spec.w_step = 5;
+  workload::RandomMutator mutator{cluster, spec};
+  GcDaemon daemon{cluster};
+
+  for (int burst = 0; burst < 10; ++burst) {
+    mutator.run(60);
+    daemon.run(25);
+    cluster.run_until_quiescent();
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty())
+        << "seed " << param.seed << " burst " << burst << ": "
+        << report.violations.front();
+  }
+}
+
+TEST_P(Chaos, EventualCompletenessOnceQuiet) {
+  const ChaosCase param = GetParam();
+  ClusterConfig cfg;
+  cfg.net.seed = param.seed ^ 0x5a5a;
+  cfg.net.drop_probability = param.drop;
+  cfg.net.duplicate_probability = param.dup;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = param.max_delay;
+  cfg.candidates = param.policy;
+  cfg.candidate_threshold = 2;
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
+
+  workload::MutatorSpec spec;
+  spec.seed = param.seed * 104729 + 7;
+  workload::RandomMutator mutator{cluster, spec};
+  mutator.run(400);
+  cluster.run_until_quiescent();
+
+  bool done = false;
+  for (int attempt = 0; attempt < 60 && !done; ++attempt) {
+    cluster.run_full_gc(3);
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty()) << report.violations.front();
+    done = report.garbage_objects().empty();
+  }
+  EXPECT_TRUE(done) << "seed " << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, Chaos,
+    ::testing::Values(
+        ChaosCase{101, 3, 0.0, 0.0, 1, CandidatePolicy::kExhaustive},
+        ChaosCase{102, 4, 0.2, 0.0, 3, CandidatePolicy::kExhaustive},
+        ChaosCase{103, 4, 0.0, 0.3, 4, CandidatePolicy::kExhaustive},
+        ChaosCase{104, 5, 0.3, 0.2, 5, CandidatePolicy::kExhaustive},
+        ChaosCase{105, 3, 0.2, 0.1, 3, CandidatePolicy::kDistance},
+        ChaosCase{106, 4, 0.2, 0.1, 3, CandidatePolicy::kSuspicionAge}),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace rgc

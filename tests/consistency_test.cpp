@@ -1,0 +1,170 @@
+// Cross-validation tests: independent components that compute overlapping
+// information must agree — summarization vs. the LGC's trace families,
+// stress sweeps over mesh sizes, determinism across equal runs.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "gc/cycle/summary.h"
+#include "gc/lgc/lgc.h"
+#include "workload/mesh.h"
+#include "workload/random_mutator.h"
+
+namespace rgc {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+
+TEST(Consistency, SummaryLocalReachAgreesWithLgcRootTrace) {
+  // Drive random states; at each checkpoint, summarize and collect must
+  // agree on which replicated objects are root-reachable.
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    ClusterConfig cfg;
+    cfg.net.seed = seed;
+    Cluster cluster{cfg};
+    for (int i = 0; i < 3; ++i) cluster.add_process();
+    workload::MutatorSpec spec;
+    spec.seed = seed;
+    spec.w_collect = 0;
+    workload::RandomMutator mutator{cluster, spec};
+
+    for (int checkpoint = 0; checkpoint < 5; ++checkpoint) {
+      mutator.run(80);
+      cluster.run_until_quiescent();
+      for (ProcessId pid : cluster.process_ids()) {
+        const gc::ProcessSummary s = gc::summarize(cluster.process(pid));
+        gc::LgcConfig lgc_cfg;
+        lgc_cfg.drop_dead_stubs = false;  // keep state untouched
+        gc::LgcConfig inspect = lgc_cfg;
+        const auto r = gc::Lgc::collect(cluster.process(pid), inspect);
+        for (const auto& [obj, rep] : s.replicas) {
+          auto it = r.object_reach.find(obj);
+          const bool lgc_root =
+              it != r.object_reach.end() && (it->second & gc::kReachRoot);
+          ASSERT_EQ(rep.local_reach, lgc_root)
+              << "seed " << seed << " checkpoint " << checkpoint << " "
+              << to_string(Replica{obj, pid});
+        }
+      }
+    }
+  }
+}
+
+TEST(Consistency, SummaryInversionIsSymmetric) {
+  // stubs_from / scions_to are inverses: scion s reaches stub t iff t
+  // lists s.  Validate over a random state.
+  ClusterConfig cfg;
+  cfg.net.seed = 77;
+  Cluster cluster{cfg};
+  for (int i = 0; i < 4; ++i) cluster.add_process();
+  workload::MutatorSpec spec;
+  spec.seed = 77;
+  workload::RandomMutator mutator{cluster, spec};
+  mutator.run(300);
+  cluster.run_until_quiescent();
+
+  for (ProcessId pid : cluster.process_ids()) {
+    const gc::ProcessSummary s = gc::summarize(cluster.process(pid));
+    for (const auto& [sk, scion] : s.scions) {
+      for (const rm::StubKey& stub : scion.stubs_from) {
+        ASSERT_TRUE(s.stubs.contains(stub));
+        EXPECT_TRUE(s.stubs.at(stub).scions_to.contains(sk));
+      }
+    }
+    for (const auto& [stub_key, stub] : s.stubs) {
+      for (const rm::ScionKey& sk : stub.scions_to) {
+        ASSERT_TRUE(s.scions.contains(sk));
+        EXPECT_TRUE(s.scions.at(sk).stubs_from.contains(stub_key));
+      }
+    }
+    for (const auto& [obj, rep] : s.replicas) {
+      for (ObjectId other : rep.replicas_from) {
+        ASSERT_TRUE(s.replicas.contains(other));
+        EXPECT_TRUE(s.replicas.at(other).replicas_to.contains(obj));
+      }
+    }
+  }
+}
+
+struct MeshSweep {
+  std::size_t processes;
+  std::size_t deps;
+};
+
+class MeshStress : public ::testing::TestWithParam<MeshSweep> {};
+
+TEST_P(MeshStress, DetectsAndReclaimsAtScale) {
+  const auto param = GetParam();
+  Cluster cluster;
+  const workload::Mesh mesh =
+      workload::build_mesh(cluster, {param.processes, param.deps});
+  cluster.snapshot_all();
+  ASSERT_TRUE(cluster.detect(mesh.head_process, mesh.head).has_value());
+  cluster.run_until_quiescent();
+  ASSERT_GE(cluster.cycles_found().size(), 1u);
+  // Unraveling the cut mesh takes one acyclic round per strand level;
+  // run_full_gc drives the fixpoint however long the chain is.
+  cluster.run_full_gc(128);
+  EXPECT_EQ(cluster.total_objects(), 0u)
+      << param.processes << "x" << param.deps;
+  EXPECT_TRUE(core::Oracle::fully_collected(cluster,
+                                            core::Oracle::analyze(cluster)));
+}
+
+TEST_P(MeshStress, BaselineAgreesOnVerdictAtScale) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.mode = core::DetectorMode::kBaseline;
+  Cluster cluster{cfg};
+  const workload::Mesh mesh =
+      workload::build_mesh(cluster, {param.processes, param.deps});
+  cluster.snapshot_all();
+  ASSERT_TRUE(cluster.detect(mesh.head_process, mesh.head).has_value());
+  cluster.run_until_quiescent();
+  EXPECT_GE(cluster.cycles_found().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshStress,
+                         ::testing::Values(MeshSweep{2, 30}, MeshSweep{3, 30},
+                                           MeshSweep{5, 20}, MeshSweep{6, 12},
+                                           MeshSweep{4, 60}),
+                         [](const ::testing::TestParamInfo<MeshSweep>& info) {
+                           return std::to_string(info.param.processes) + "x" +
+                                  std::to_string(info.param.deps);
+                         });
+
+TEST(Consistency, IdenticalSeedsIdenticalWorlds) {
+  auto world_hash = [](std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.net.seed = seed;
+    cfg.net.min_delay = 1;
+    cfg.net.max_delay = 4;
+    Cluster cluster{cfg};
+    for (int i = 0; i < 4; ++i) cluster.add_process();
+    workload::MutatorSpec spec;
+    spec.seed = seed + 1;
+    workload::RandomMutator mutator{cluster, spec};
+    mutator.run(250);
+    cluster.run_until_quiescent();
+    cluster.run_full_gc();
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h = (h ^ v) * 1099511628211ull;
+    };
+    mix(cluster.total_objects());
+    mix(cluster.metric_total("cycle.cdms_sent"));
+    mix(cluster.metric_total("lgc.reclaimed"));
+    mix(cluster.network().now());
+    for (ProcessId pid : cluster.process_ids()) {
+      mix(cluster.process(pid).heap().size());
+      mix(cluster.process(pid).scions().size());
+    }
+    return h;
+  };
+  EXPECT_EQ(world_hash(5150), world_hash(5150));
+  EXPECT_NE(world_hash(5150), world_hash(5151));
+}
+
+}  // namespace
+}  // namespace rgc

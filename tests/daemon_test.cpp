@@ -1,0 +1,101 @@
+// Integration tests: the periodic GC daemon — background cadence, live
+// mutator coexistence, end-to-end reclamation without explicit GC calls.
+#include <gtest/gtest.h>
+
+#include "core/daemon.h"
+#include "core/oracle.h"
+#include "workload/figures.h"
+#include "workload/random_mutator.h"
+
+namespace rgc::core {
+namespace {
+
+TEST(Daemon, RunsCollectionsOnSchedule) {
+  Cluster cluster;
+  cluster.add_process();
+  cluster.add_process();
+  DaemonConfig cfg;
+  cfg.collect_period = 4;
+  cfg.snapshot_period = 8;
+  GcDaemon daemon{cluster, cfg};
+  daemon.run(32);
+  // 2 processes x (32/4) due collection ticks, staggered but all hit.
+  EXPECT_GE(daemon.collections(), 14u);
+  EXPECT_GE(daemon.sweeps(), 6u);
+}
+
+TEST(Daemon, ReclaimsTheFigure2CycleInTheBackground) {
+  Cluster cluster;
+  workload::build_figure2(cluster);
+  GcDaemon daemon{cluster};
+  daemon.run(300);
+  EXPECT_EQ(cluster.total_objects(), 0u)
+      << "background cadence alone must reclaim the replicated cycle";
+  EXPECT_GE(daemon.detections_started(), 1u);
+}
+
+TEST(Daemon, NeverHarmsLiveDataWhileMutatorRuns) {
+  Cluster cluster;
+  for (int i = 0; i < 4; ++i) cluster.add_process();
+  workload::MutatorSpec spec;
+  spec.seed = 77;
+  spec.w_collect = 0;  // the daemon is the only collector
+  spec.w_step = 0;     // the daemon drives time
+  workload::RandomMutator mutator{cluster, spec};
+  GcDaemon daemon{cluster};
+
+  for (int burst = 0; burst < 30; ++burst) {
+    mutator.run(20);
+    daemon.run(10);
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty())
+        << "burst " << burst << ": " << report.violations.front();
+  }
+}
+
+TEST(Daemon, ConvergesOnceMutationStops) {
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) cluster.add_process();
+  workload::MutatorSpec spec;
+  spec.seed = 1234;
+  workload::RandomMutator mutator{cluster, spec};
+  mutator.run(300);
+  cluster.run_until_quiescent();
+
+  GcDaemon daemon{cluster};
+  daemon.run(600);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.garbage_objects().empty())
+      << report.garbage_objects().size()
+      << " dead objects survived the background daemon";
+}
+
+TEST(Daemon, HeuristicPoliciesWorkUnderTheDaemon) {
+  for (const CandidatePolicy policy :
+       {CandidatePolicy::kDistance, CandidatePolicy::kSuspicionAge}) {
+    ClusterConfig cfg;
+    cfg.candidates = policy;
+    cfg.candidate_threshold = 2;
+    Cluster cluster{cfg};
+    workload::build_figure2(cluster);
+    GcDaemon daemon{cluster};
+    daemon.run(400);
+    EXPECT_EQ(cluster.total_objects(), 0u)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(Daemon, ZeroPeriodsAreSanitized) {
+  Cluster cluster;
+  cluster.add_process();
+  DaemonConfig cfg;
+  cfg.collect_period = 0;
+  cfg.snapshot_period = 0;
+  GcDaemon daemon{cluster, cfg};
+  daemon.run(5);  // must not divide by zero
+  EXPECT_GE(daemon.collections(), 5u);
+}
+
+}  // namespace
+}  // namespace rgc::core

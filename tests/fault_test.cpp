@@ -1,0 +1,136 @@
+// Fault-injection tests: the GC's advisory traffic (NewSetStubs, CDMs)
+// rides an unreliable transport — messages may be lost, duplicated or
+// reordered by jitter.  Safety must be unconditional; completeness may
+// need extra rounds but must still be reached.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "workload/figures.h"
+#include "workload/random_mutator.h"
+
+namespace rgc {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::Oracle;
+
+ClusterConfig lossy(std::uint64_t seed, double drop, double dup,
+                    std::uint32_t max_delay = 4) {
+  ClusterConfig cfg;
+  cfg.net.seed = seed;
+  cfg.net.drop_probability = drop;
+  cfg.net.duplicate_probability = dup;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = max_delay;
+  return cfg;
+}
+
+TEST(Faults, JitterAloneChangesNothingObservable) {
+  Cluster cluster{lossy(11, 0.0, 0.0, 6)};
+  const auto f = workload::build_figure2(cluster);
+  (void)f;
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), 0u);
+  EXPECT_TRUE(Oracle::analyze(cluster).violations.empty());
+}
+
+TEST(Faults, DetectionSurvivesDuplicatedCdms) {
+  Cluster cluster{lossy(12, 0.0, 0.5)};
+  const auto f = workload::build_figure2(cluster);
+  cluster.snapshot_all();
+  cluster.detect(f.p1, f.x);
+  cluster.run_until_quiescent();
+  // Duplicates must not produce double verdicts or double cuts that harm
+  // anything; the cycle is reclaimed exactly once.
+  for (int i = 0; i < 8; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_EQ(cluster.total_objects(), 0u);
+  EXPECT_TRUE(Oracle::analyze(cluster).violations.empty());
+}
+
+TEST(Faults, DroppedCdmsNeverHurtSafetyAndRetriesConverge) {
+  Cluster cluster{lossy(13, 0.5, 0.0)};
+  const auto f = workload::build_figure2(cluster);
+  (void)f;
+  // With 50% CDM loss a single detection often dies; repeated rounds with
+  // fresh snapshots eventually get one through.
+  bool collected = false;
+  for (int attempt = 0; attempt < 30 && !collected; ++attempt) {
+    cluster.run_full_gc(2);
+    collected = cluster.total_objects() == 0;
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty()) << report.violations.front();
+  }
+  EXPECT_TRUE(collected) << "retries across rounds must converge";
+}
+
+TEST(Faults, LiveDataSurvivesArbitraryGcMessageLoss) {
+  Cluster cluster{lossy(14, 0.7, 0.2)};
+  const auto f = workload::build_figure1(cluster);
+  for (int i = 0; i < 10; ++i) {
+    cluster.run_full_gc(2);
+    ASSERT_TRUE(cluster.process(f.p3).heap().contains(f.z))
+        << "live Z lost under message loss at round " << i;
+    ASSERT_TRUE(cluster.process(f.p2).heap().contains(f.x));
+  }
+}
+
+TEST(Faults, RandomWorkloadUnderLossKeepsSafety) {
+  Cluster cluster{lossy(15, 0.3, 0.1, 5)};
+  for (int i = 0; i < 4; ++i) cluster.add_process();
+  workload::MutatorSpec spec;
+  spec.seed = 999;
+  workload::RandomMutator mutator{cluster, spec};
+  for (int burst = 0; burst < 6; ++burst) {
+    mutator.run(150);
+    cluster.run_until_quiescent();
+    cluster.run_full_gc(3);
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty())
+        << "burst " << burst << ": " << report.violations.front();
+  }
+}
+
+TEST(Faults, CompletenessUnderModerateLossEventually) {
+  Cluster cluster{lossy(16, 0.2, 0.05)};
+  for (int i = 0; i < 3; ++i) cluster.add_process();
+  workload::MutatorSpec spec;
+  spec.seed = 4242;
+  workload::RandomMutator mutator{cluster, spec};
+  mutator.run(400);
+  cluster.run_until_quiescent();
+
+  bool done = false;
+  for (int attempt = 0; attempt < 40 && !done; ++attempt) {
+    cluster.run_full_gc(2);
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty());
+    done = report.garbage_objects().empty();
+  }
+  EXPECT_TRUE(done) << "completeness must be reached despite losses";
+}
+
+TEST(Faults, ReliablePlaneIsImmuneToInjection) {
+  // Propagations and invocations (the application plane) must behave
+  // identically under heavy injection: they ride the reliable transport.
+  Cluster cluster{lossy(17, 0.9, 0.9)};
+  const ProcessId a = cluster.add_process();
+  const ProcessId b = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  const ObjectId y = cluster.new_object(a);
+  cluster.add_root(a, x);
+  cluster.add_ref(a, x, y);
+  cluster.propagate(x, a, b);
+  cluster.run_until_quiescent();
+  EXPECT_TRUE(cluster.process(b).has_replica(x));
+  cluster.invoke(b, y);
+  cluster.run_until_quiescent();
+  EXPECT_EQ(cluster.process(a).scions().at(rm::ScionKey{b, y}).ic, 1u);
+}
+
+}  // namespace
+}  // namespace rgc

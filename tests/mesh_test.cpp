@@ -1,0 +1,156 @@
+// Integration tests: the triangle-mesh ring workload (§5.2) and the
+// scalability behaviour behind Figures 8/9 and Table 2.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "workload/mesh.h"
+
+namespace rgc::workload {
+namespace {
+
+using core::Cluster;
+using core::Oracle;
+
+TEST(Mesh, BuildRejectsDegenerateSpecs) {
+  Cluster cluster;
+  EXPECT_THROW(build_mesh(cluster, MeshSpec{1, 10}), std::invalid_argument);
+}
+
+TEST(Mesh, SmallMeshShapeIsCorrect) {
+  Cluster cluster;
+  const MeshSpec spec{2, 2};
+  const Mesh mesh = build_mesh(cluster, spec);
+  // laps = 1, hops = 2, strand = head + 2 created objects.
+  EXPECT_EQ(mesh.strand.size(), 3u);
+  // Each hop: 1 propagation + 1 remote ref.
+  EXPECT_EQ(mesh.total_links, 4u);
+  // The whole mesh is garbage.
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.live_objects.empty());
+  for (ObjectId obj : mesh.strand) {
+    EXPECT_TRUE(report.existing_objects.contains(obj));
+  }
+}
+
+TEST(Mesh, EveryStrandObjectIsReplicatedOnTwoProcesses) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{3, 4});
+  for (std::size_t i = 0; i + 1 < mesh.strand.size(); ++i) {
+    int copies = 0;
+    for (ProcessId pid : cluster.process_ids()) {
+      copies += cluster.process(pid).has_replica(mesh.strand[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(copies, 2) << "strand object " << to_string(mesh.strand[i]);
+  }
+  // The closing object is never propagated: a single copy.
+  int copies = 0;
+  for (ProcessId pid : cluster.process_ids()) {
+    copies += cluster.process(pid).has_replica(mesh.strand.back()) ? 1 : 0;
+  }
+  EXPECT_EQ(copies, 1);
+}
+
+TEST(Mesh, SurvivesAcyclicCollection) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{3, 2});
+  const auto before = cluster.total_objects();
+  for (int i = 0; i < 6; ++i) {
+    cluster.collect_all();
+    cluster.run_until_quiescent();
+  }
+  EXPECT_EQ(cluster.total_objects(), before)
+      << "the mesh cycle must be invisible to the acyclic protocol";
+}
+
+TEST(Mesh, DetectionFindsTheSpanningCycle) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{3, 2});
+  cluster.snapshot_all();
+  ASSERT_TRUE(cluster.detect(mesh.head_process, mesh.head).has_value());
+  cluster.run_until_quiescent();
+  ASSERT_GE(cluster.cycles_found().size(), 1u);
+  // The verdict's target set spans every process.
+  const gc::Cdm& verdict = cluster.cycles_found().front();
+  std::set<ProcessId> touched;
+  for (const gc::Element& e : verdict.targets) touched.insert(e.replica.process);
+  EXPECT_EQ(touched.size(), cluster.process_count());
+}
+
+TEST(Mesh, FullGcReclaimsEverything) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{3, 2});
+  (void)mesh;
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), 0u);
+  EXPECT_TRUE(Oracle::fully_collected(cluster, Oracle::analyze(cluster)));
+}
+
+TEST(Mesh, RootedHeadProtectsTheWholeMesh) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{3, 2});
+  cluster.add_root(mesh.head_process, mesh.head);
+  const auto before = cluster.total_objects();
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), before);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(Mesh, StepsToDetectionGrowLinearlyWithDependencies) {
+  // Table 2's shape: steps ≈ slope·D (the slope itself grows with R).
+  auto steps_for = [](std::size_t R, std::size_t D) -> std::uint64_t {
+    Cluster cluster;
+    const Mesh mesh = build_mesh(cluster, MeshSpec{R, D});
+    cluster.snapshot_all();
+    const std::uint64_t start = cluster.now();
+    EXPECT_TRUE(cluster.detect(mesh.head_process, mesh.head).has_value());
+    while (cluster.cycles_found().empty() && !cluster.network().idle()) {
+      cluster.step();
+    }
+    EXPECT_FALSE(cluster.cycles_found().empty());
+    return cluster.now() - start;
+  };
+  const auto s4 = steps_for(2, 4);
+  const auto s8 = steps_for(2, 8);
+  const auto s16 = steps_for(2, 16);
+  // Linear growth: doubling D roughly doubles the steps.
+  EXPECT_GT(s8, s4);
+  EXPECT_GT(s16, s8);
+  const double ratio = static_cast<double>(s16 - s8) / (s8 - s4);
+  EXPECT_NEAR(ratio, 2.0, 0.75) << "s4=" << s4 << " s8=" << s8
+                                << " s16=" << s16;
+}
+
+TEST(Mesh, ExtraReplicasRaiseReplicationFactor) {
+  Cluster cluster;
+  const Mesh mesh = build_mesh(cluster, MeshSpec{4, 2, /*extra_replicas=*/1});
+  // Strand objects now have 3 copies (origin + chain replica + bystander).
+  int three_copies = 0;
+  for (ObjectId obj : mesh.strand) {
+    int copies = 0;
+    for (ProcessId pid : cluster.process_ids()) {
+      copies += cluster.process(pid).has_replica(obj) ? 1 : 0;
+    }
+    if (copies == 3) ++three_copies;
+  }
+  EXPECT_GT(three_copies, 0);
+  // Still fully collectable.
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), 0u);
+}
+
+TEST(Mesh, DeterministicConstruction) {
+  auto fingerprint = [](std::uint64_t seed) {
+    core::ClusterConfig cfg;
+    cfg.net.seed = seed;
+    Cluster cluster{cfg};
+    const Mesh mesh = build_mesh(cluster, MeshSpec{3, 4});
+    return std::make_tuple(mesh.strand.size(), mesh.total_links,
+                           cluster.total_objects());
+  };
+  EXPECT_EQ(fingerprint(1), fingerprint(1));
+}
+
+}  // namespace
+}  // namespace rgc::workload

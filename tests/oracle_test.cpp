@@ -1,0 +1,129 @@
+// Unit tests: the omniscient oracle — Union-Rule liveness closure,
+// integrity checking, completeness predicate.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "workload/figures.h"
+
+namespace rgc::core {
+namespace {
+
+TEST(Oracle, EmptyClusterIsHealthy) {
+  Cluster cluster;
+  cluster.add_process();
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.live_objects.empty());
+  EXPECT_TRUE(report.existing_objects.empty());
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(Oracle::fully_collected(cluster, report));
+}
+
+TEST(Oracle, RootedObjectIsLive) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  cluster.add_root(a, x);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.is_live(x));
+  EXPECT_TRUE(report.garbage_objects().empty());
+}
+
+TEST(Oracle, UnrootedObjectIsGarbage) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_FALSE(report.is_live(x));
+  EXPECT_EQ(report.garbage_objects(), (std::set<ObjectId>{x}));
+  EXPECT_FALSE(Oracle::fully_collected(cluster, report));
+}
+
+TEST(Oracle, LivenessClosesOverUnionOfReplicas) {
+  // The Figure-1 shape: liveness flows through the replica that holds the
+  // reference even when that replica is locally unreachable.
+  Cluster cluster;
+  const auto f = workload::build_figure1(cluster);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.is_live(f.x));
+  EXPECT_TRUE(report.is_live(f.z))
+      << "Z is live via the union of X's replicas";
+}
+
+TEST(Oracle, GarbageCycleIsNotLive) {
+  Cluster cluster;
+  const auto f = workload::build_figure2(cluster);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_FALSE(report.is_live(f.x));
+  EXPECT_FALSE(report.is_live(f.y));
+  EXPECT_TRUE(report.garbage_objects().contains(f.x));
+  EXPECT_FALSE(Oracle::fully_collected(cluster, report));
+}
+
+TEST(Oracle, TransientRootsCountAsRoots) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  cluster.process(a).pin_transient_root(x, 5);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.is_live(x));
+}
+
+TEST(Oracle, DetectsDanglingLiveStub) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ProcessId b = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  const ObjectId y = cluster.new_object(a);
+  cluster.add_root(a, x);
+  cluster.add_ref(a, x, y);
+  cluster.propagate(x, a, b);
+  cluster.run_until_quiescent();
+  cluster.add_root(b, x);
+
+  // Sabotage: destroy y's replica behind the collectors' backs.
+  cluster.process(a).heap().erase(y);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Oracle, DetectsUnresolvableLiveReference) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  const ObjectId y = cluster.new_object(a);
+  cluster.add_root(a, x);
+  cluster.add_ref(a, x, y);
+  // Sabotage: delete y locally; the live reference cannot resolve anywhere.
+  cluster.process(a).heap().erase(y);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Oracle, FullyCollectedRejectsLeftoverGcStructures) {
+  Cluster cluster;
+  const ProcessId a = cluster.add_process();
+  const ProcessId b = cluster.add_process();
+  const ObjectId x = cluster.new_object(a);
+  cluster.propagate(x, a, b);
+  cluster.run_until_quiescent();
+  // Remove the replicas by hand but leave the prop entries dangling.
+  cluster.process(a).heap().erase(x);
+  cluster.process(b).heap().erase(x);
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.garbage_objects().empty());
+  EXPECT_FALSE(Oracle::fully_collected(cluster, report))
+      << "prop entries still name the dead object";
+}
+
+TEST(Oracle, HealthyAfterFullGc) {
+  Cluster cluster;
+  workload::build_figure3(cluster);
+  cluster.run_full_gc();
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(Oracle::fully_collected(cluster, report));
+}
+
+}  // namespace
+}  // namespace rgc::core

@@ -1,0 +1,124 @@
+// Property-based tests: random replicated workloads checked against the
+// omniscient oracle.
+//
+//  Safety       — at every point (during mutation, between GC rounds) no
+//                 live object is ever lost and no live path dangles.
+//  Completeness — once mutation stops, run_full_gc() reclaims every dead
+//                 object, cyclic or acyclic, replicated or not, and leaves
+//                 no GC structure naming a dead object.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "core/oracle.h"
+#include "workload/random_mutator.h"
+
+namespace rgc {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::Oracle;
+using workload::MutatorSpec;
+using workload::RandomMutator;
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::size_t processes;
+  std::size_t ops;
+};
+
+class RandomWorkload : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RandomWorkload, SafetyHoldsThroughoutMutationAndGc) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.net.seed = param.seed;
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
+
+  MutatorSpec spec;
+  spec.seed = param.seed * 977 + 13;
+  RandomMutator mutator{cluster, spec};
+
+  for (int burst = 0; burst < 8; ++burst) {
+    mutator.run(param.ops / 8);
+    cluster.run_until_quiescent();
+    const auto report = Oracle::analyze(cluster);
+    ASSERT_TRUE(report.violations.empty())
+        << "burst " << burst << ": " << report.violations.front();
+    // Interleave a full GC and re-check: GC must never harm live data.
+    const auto live_before = report.live_objects;
+    cluster.run_full_gc(6);
+    const auto after = Oracle::analyze(cluster);
+    ASSERT_TRUE(after.violations.empty())
+        << "post-GC burst " << burst << ": " << after.violations.front();
+    for (ObjectId obj : live_before) {
+      ASSERT_TRUE(after.object_exists(obj))
+          << "GC lost live object " << to_string(obj) << " in burst "
+          << burst;
+    }
+  }
+}
+
+TEST_P(RandomWorkload, CompletenessOnceMutationStops) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.net.seed = param.seed;
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
+
+  MutatorSpec spec;
+  spec.seed = param.seed * 31 + 7;
+  RandomMutator mutator{cluster, spec};
+  mutator.run(param.ops);
+  cluster.run_until_quiescent();
+
+  cluster.run_full_gc();
+  const auto report = Oracle::analyze(cluster);
+  EXPECT_TRUE(report.violations.empty())
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_TRUE(report.garbage_objects().empty())
+      << report.garbage_objects().size() << " dead objects survived full GC";
+  EXPECT_TRUE(Oracle::fully_collected(cluster, report));
+}
+
+TEST_P(RandomWorkload, DroppingAllRootsReclaimsEverything) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.net.seed = param.seed;
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
+
+  MutatorSpec spec;
+  spec.seed = param.seed * 131 + 3;
+  RandomMutator mutator{cluster, spec};
+  mutator.run(param.ops);
+  cluster.run_until_quiescent();
+
+  for (ProcessId pid : cluster.process_ids()) {
+    const auto roots = cluster.process(pid).heap().roots();
+    for (ObjectId r : roots) cluster.remove_root(pid, r);
+  }
+  // Transient invocation roots expire with time.
+  for (int i = 0; i < 8; ++i) cluster.step();
+
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), 0u)
+      << "with no roots at all, the whole store is garbage";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomWorkload,
+    ::testing::Values(PropertyCase{1, 3, 400}, PropertyCase{2, 3, 400},
+                      PropertyCase{3, 4, 600}, PropertyCase{4, 4, 600},
+                      PropertyCase{5, 5, 800}, PropertyCase{6, 2, 300},
+                      PropertyCase{7, 6, 800}, PropertyCase{8, 4, 1000},
+                      PropertyCase{9, 3, 500}, PropertyCase{10, 5, 1000}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_p" +
+             std::to_string(info.param.processes) + "_ops" +
+             std::to_string(info.param.ops);
+    });
+
+}  // namespace
+}  // namespace rgc

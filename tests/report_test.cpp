@@ -1,0 +1,72 @@
+// Unit tests: the cluster reporting module.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "workload/figures.h"
+
+namespace rgc::core {
+namespace {
+
+TEST(Report, EmptyCluster) {
+  Cluster cluster;
+  cluster.add_process();
+  const ClusterReport report = make_report(cluster);
+  ASSERT_EQ(report.processes.size(), 1u);
+  EXPECT_EQ(report.processes[0].objects, 0u);
+  EXPECT_TRUE(report.traffic.empty());
+  EXPECT_EQ(report.cycles_found, 0u);
+}
+
+TEST(Report, CountsMatchProcessState) {
+  Cluster cluster;
+  const auto f = workload::build_figure2(cluster);
+  const ClusterReport report = make_report(cluster);
+  ASSERT_EQ(report.processes.size(), 4u);
+  const rm::Process& p1 = cluster.process(f.p1);
+  EXPECT_EQ(report.processes[0].objects, p1.heap().size());
+  EXPECT_EQ(report.processes[0].scions, p1.scions().size());
+  EXPECT_EQ(report.processes[0].stubs, p1.stubs().size());
+  EXPECT_EQ(report.processes[0].in_props, p1.in_props().size());
+  EXPECT_EQ(report.processes[0].out_props, p1.out_props().size());
+}
+
+TEST(Report, TrafficListsMessageKinds) {
+  Cluster cluster;
+  workload::build_figure2(cluster);
+  const ClusterReport report = make_report(cluster);
+  bool has_propagate = false;
+  for (const auto& [kind, count] : report.traffic) {
+    if (kind == "Propagate") {
+      has_propagate = true;
+      EXPECT_GT(count, 0u);
+    }
+  }
+  EXPECT_TRUE(has_propagate);
+}
+
+TEST(Report, GcCountersAggregateAcrossProcesses) {
+  Cluster cluster;
+  workload::build_figure2(cluster);
+  cluster.run_full_gc();
+  const ClusterReport report = make_report(cluster);
+  std::uint64_t cycles = 0;
+  for (const auto& [name, value] : report.gc_counters) {
+    if (name == "cycle.cycles_found") cycles = value;
+  }
+  EXPECT_GE(cycles, 1u);
+  EXPECT_GE(report.cycles_found, 1u);
+}
+
+TEST(Report, RendersReadably) {
+  Cluster cluster;
+  workload::build_figure2(cluster);
+  cluster.run_full_gc();
+  const std::string text = make_report(cluster).to_string();
+  EXPECT_NE(text.find("cluster @ step"), std::string::npos);
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("traffic:"), std::string::npos);
+  EXPECT_NE(text.find("CDM="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgc::core

@@ -1,0 +1,243 @@
+// Unit tests: snapshot summarization (§3.5.1) — StubsFrom/ReplicasFrom,
+// ScionsTo/ReplicasTo, LocalReach, counters.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "gc/cycle/summary.h"
+#include "workload/figures.h"
+
+namespace rgc::gc {
+namespace {
+
+using core::Cluster;
+
+TEST(Summary, EmptyProcessSummarizesEmpty) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessSummary s = summarize(cluster.process(p1));
+  EXPECT_EQ(s.process, p1);
+  EXPECT_TRUE(s.scions.empty());
+  EXPECT_TRUE(s.stubs.empty());
+  EXPECT_TRUE(s.replicas.empty());
+}
+
+TEST(Summary, ReplicaLocalReachTracksRoots) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  auto s = summarize(cluster.process(p1));
+  ASSERT_TRUE(s.replicas.contains(a));
+  EXPECT_FALSE(s.replicas.at(a).local_reach);
+
+  cluster.add_root(p1, a);
+  s = summarize(cluster.process(p1));
+  EXPECT_TRUE(s.replicas.at(a).local_reach);
+}
+
+TEST(Summary, IndirectRootReachSetsLocalReach) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId root_obj = cluster.new_object(p1);
+  const ObjectId a = cluster.new_object(p1);
+  cluster.add_ref(p1, root_obj, a);
+  cluster.add_root(p1, root_obj);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  const auto s = summarize(cluster.process(p1));
+  EXPECT_TRUE(s.replicas.at(a).local_reach)
+      << "reachability through a chain of local objects must count";
+}
+
+TEST(Summary, StubsFromOfReplicaCrossesLocalObjects) {
+  // a(replica) -> m (plain local) -> remote z: StubsFrom(a) = {z-stub}.
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId m = cluster.new_object(p1);
+  const ObjectId z = cluster.new_object(p3);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, m);
+  workload::make_remote_ref(cluster, p1, m, p3, z);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  const auto s = summarize(cluster.process(p1));
+  ASSERT_TRUE(s.replicas.contains(a));
+  EXPECT_TRUE(s.replicas.at(a).stubs_from.contains(rm::StubKey{z, p3}));
+}
+
+TEST(Summary, ReplicasFromExcludesSelfButSeesOthers) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.propagate(b, p1, p2);
+  cluster.run_until_quiescent();
+
+  const auto s = summarize(cluster.process(p1));
+  EXPECT_FALSE(s.replicas.at(a).replicas_from.contains(a));
+  EXPECT_TRUE(s.replicas.at(a).replicas_from.contains(b));
+  EXPECT_TRUE(s.replicas.at(b).replicas_to.contains(a));
+}
+
+TEST(Summary, ScionForwardReachAndInversion) {
+  // p2 holds a scion for b (exported by propagating a which references b);
+  // from b a stub leads onward to z@p3.
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  const ObjectId z = cluster.new_object(p3);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  workload::make_remote_ref(cluster, p1, b, p3, z);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  const auto s = summarize(cluster.process(p1));
+  const rm::ScionKey scion_b{p2, b};
+  ASSERT_TRUE(s.scions.contains(scion_b));
+  EXPECT_TRUE(s.scions.at(scion_b).stubs_from.contains(rm::StubKey{z, p3}));
+  // Inversion: the stub knows which scion leads to it.
+  ASSERT_TRUE(s.stubs.contains(rm::StubKey{z, p3}));
+  EXPECT_TRUE(s.stubs.at(rm::StubKey{z, p3}).scions_to.contains(scion_b));
+}
+
+TEST(Summary, ScionLocalReachWhenAnchorRooted) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  auto s = summarize(cluster.process(p1));
+  EXPECT_TRUE(s.scions.at(rm::ScionKey{p2, b}).local_reach)
+      << "anchor b is reachable from root a";
+
+  cluster.remove_root(p1, a);
+  cluster.remove_ref(p1, a, b);
+  s = summarize(cluster.process(p1));
+  EXPECT_FALSE(s.scions.at(rm::ScionKey{p2, b}).local_reach);
+}
+
+TEST(Summary, StubLocalReachWhenHeldByLivePath) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  auto s = summarize(cluster.process(p2));
+  ASSERT_TRUE(s.stubs.contains(rm::StubKey{b, p1}));
+  EXPECT_FALSE(s.stubs.at(rm::StubKey{b, p1}).local_reach);
+
+  cluster.add_root(p2, a);  // live path a -> stub(b)
+  s = summarize(cluster.process(p2));
+  EXPECT_TRUE(s.stubs.at(rm::StubKey{b, p1}).local_reach);
+}
+
+TEST(Summary, AnchorLevelReplicasToOnScion) {
+  // A local *replicated* object referencing a non-replicated scion anchor
+  // must appear in the anchor's ReplicasTo (the safety fix of DESIGN.md).
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);  // will be replicated
+  const ObjectId z = cluster.new_object(p1);  // plain, scion-anchored
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, z);
+  cluster.propagate(a, p1, p2);           // replicates a; exports scion for z
+  cluster.run_until_quiescent();
+  // Give z a second, independent scion from p3 so we can inspect it.
+  workload::make_remote_ref(cluster, p3, cluster.new_object(p3), p1, z);
+
+  const auto s = summarize(cluster.process(p1));
+  const rm::ScionKey from_p2{p2, z};
+  ASSERT_TRUE(s.scions.contains(from_p2));
+  EXPECT_TRUE(s.scions.at(from_p2).replicas_to.contains(a))
+      << "replicated local referencer of the anchor must be a dependency";
+}
+
+TEST(Summary, CountersAreSnapshotted) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+  cluster.invoke(p2, b);
+  cluster.invoke(p2, b);
+  cluster.run_until_quiescent();
+
+  const auto s1 = summarize(cluster.process(p1));
+  const auto s2 = summarize(cluster.process(p2));
+  EXPECT_EQ(s1.scions.at(rm::ScionKey{p2, b}).ic, 2u);
+  EXPECT_EQ(s2.stubs.at(rm::StubKey{b, p1}).ic, 2u);
+  EXPECT_EQ(s1.replicas.at(a).out_props.at(0).uc, 1u);
+  EXPECT_EQ(s2.replicas.at(a).in_props.at(0).uc, 1u);
+}
+
+TEST(Summary, SnapshotIsAPointInTime) {
+  // Later mutations must not leak into an already-taken summary.
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ObjectId a = cluster.new_object(p1);
+  const ObjectId b = cluster.new_object(p1);
+  cluster.add_root(p1, a);
+  cluster.add_ref(p1, a, b);
+  cluster.propagate(a, p1, p2);
+  cluster.run_until_quiescent();
+
+  const auto s = summarize(cluster.process(p1));
+  const auto old_ic = s.scions.at(rm::ScionKey{p2, b}).ic;
+  cluster.invoke(p2, b);
+  cluster.run_until_quiescent();
+  EXPECT_EQ(s.scions.at(rm::ScionKey{p2, b}).ic, old_ic);
+  EXPECT_EQ(summarize(cluster.process(p1)).scions.at(rm::ScionKey{p2, b}).ic,
+            old_ic + 1);
+}
+
+TEST(Summary, ScionsAnchoredAtFiltersByAnchor) {
+  Cluster cluster;
+  const ProcessId p1 = cluster.add_process();
+  const ProcessId p2 = cluster.add_process();
+  const ProcessId p3 = cluster.add_process();
+  const ObjectId z = cluster.new_object(p1);
+  workload::make_remote_ref(cluster, p2, cluster.new_object(p2), p1, z);
+  workload::make_remote_ref(cluster, p3, cluster.new_object(p3), p1, z);
+
+  const auto s = summarize(cluster.process(p1));
+  const auto anchored = s.scions_anchored_at(z);
+  EXPECT_EQ(anchored.size(), 2u);
+  EXPECT_TRUE(s.scions_anchored_at(ObjectId{999}).empty());
+}
+
+}  // namespace
+}  // namespace rgc::gc
