@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_race_barrier.dir/ablation_race_barrier.cpp.o"
+  "CMakeFiles/ablation_race_barrier.dir/ablation_race_barrier.cpp.o.d"
+  "ablation_race_barrier"
+  "ablation_race_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_race_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

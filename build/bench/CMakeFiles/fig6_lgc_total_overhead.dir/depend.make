@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_lgc_total_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lgc_unitary_cost.dir/fig7_lgc_unitary_cost.cpp.o"
+  "CMakeFiles/fig7_lgc_unitary_cost.dir/fig7_lgc_unitary_cost.cpp.o.d"
+  "fig7_lgc_unitary_cost"
+  "fig7_lgc_unitary_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lgc_unitary_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

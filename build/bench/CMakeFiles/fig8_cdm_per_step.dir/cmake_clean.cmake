@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cdm_per_step.dir/fig8_cdm_per_step.cpp.o"
+  "CMakeFiles/fig8_cdm_per_step.dir/fig8_cdm_per_step.cpp.o.d"
+  "fig8_cdm_per_step"
+  "fig8_cdm_per_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cdm_per_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cdm_totals.dir/fig9_cdm_totals.cpp.o"
+  "CMakeFiles/fig9_cdm_totals.dir/fig9_cdm_totals.cpp.o.d"
+  "fig9_cdm_totals"
+  "fig9_cdm_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cdm_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_steps_to_detection.dir/table2_steps_to_detection.cpp.o"
+  "CMakeFiles/table2_steps_to_detection.dir/table2_steps_to_detection.cpp.o.d"
+  "table2_steps_to_detection"
+  "table2_steps_to_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_steps_to_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

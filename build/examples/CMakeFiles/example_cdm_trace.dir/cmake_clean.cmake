@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cdm_trace.dir/cdm_trace.cpp.o"
+  "CMakeFiles/example_cdm_trace.dir/cdm_trace.cpp.o.d"
+  "example_cdm_trace"
+  "example_cdm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cdm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

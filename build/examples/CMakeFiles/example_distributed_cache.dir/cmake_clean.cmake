@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_cache.dir/distributed_cache.cpp.o"
+  "CMakeFiles/example_distributed_cache.dir/distributed_cache.cpp.o.d"
+  "example_distributed_cache"
+  "example_distributed_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graphdb_tour.dir/graphdb_tour.cpp.o"
+  "CMakeFiles/example_graphdb_tour.dir/graphdb_tour.cpp.o.d"
+  "example_graphdb_tour"
+  "example_graphdb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graphdb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_graph.dir/social_graph.cpp.o"
+  "CMakeFiles/example_social_graph.dir/social_graph.cpp.o.d"
+  "example_social_graph"
+  "example_social_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

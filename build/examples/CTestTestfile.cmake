@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example.quickstart]=] "/root/repo/build/examples/example_quickstart")
+set_tests_properties([=[example.quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.social_graph]=] "/root/repo/build/examples/example_social_graph")
+set_tests_properties([=[example.social_graph]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.distributed_cache]=] "/root/repo/build/examples/example_distributed_cache")
+set_tests_properties([=[example.distributed_cache]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.cdm_trace]=] "/root/repo/build/examples/example_cdm_trace")
+set_tests_properties([=[example.cdm_trace]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.graphdb_tour]=] "/root/repo/build/examples/example_graphdb_tour")
+set_tests_properties([=[example.graphdb_tour]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example.sim_cli]=] "/root/repo/build/examples/example_sim_cli")
+set_tests_properties([=[example.sim_cli]=] PROPERTIES  PASS_REGULAR_EXPRESSION "converged=yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/rgc.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/CMakeFiles/rgc.dir/core/daemon.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/core/daemon.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/CMakeFiles/rgc.dir/core/oracle.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/core/oracle.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rgc.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/core/report.cpp.o.d"
+  "/root/repo/src/gc/adgc/adgc.cpp" "src/CMakeFiles/rgc.dir/gc/adgc/adgc.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/adgc/adgc.cpp.o.d"
+  "/root/repo/src/gc/baseline/baseline_detector.cpp" "src/CMakeFiles/rgc.dir/gc/baseline/baseline_detector.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/baseline/baseline_detector.cpp.o.d"
+  "/root/repo/src/gc/cycle/cdm.cpp" "src/CMakeFiles/rgc.dir/gc/cycle/cdm.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/cycle/cdm.cpp.o.d"
+  "/root/repo/src/gc/cycle/detector.cpp" "src/CMakeFiles/rgc.dir/gc/cycle/detector.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/cycle/detector.cpp.o.d"
+  "/root/repo/src/gc/cycle/heuristics.cpp" "src/CMakeFiles/rgc.dir/gc/cycle/heuristics.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/cycle/heuristics.cpp.o.d"
+  "/root/repo/src/gc/cycle/snapshot_io.cpp" "src/CMakeFiles/rgc.dir/gc/cycle/snapshot_io.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/cycle/snapshot_io.cpp.o.d"
+  "/root/repo/src/gc/cycle/summary.cpp" "src/CMakeFiles/rgc.dir/gc/cycle/summary.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/cycle/summary.cpp.o.d"
+  "/root/repo/src/gc/lgc/finalizer.cpp" "src/CMakeFiles/rgc.dir/gc/lgc/finalizer.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/lgc/finalizer.cpp.o.d"
+  "/root/repo/src/gc/lgc/lgc.cpp" "src/CMakeFiles/rgc.dir/gc/lgc/lgc.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/gc/lgc/lgc.cpp.o.d"
+  "/root/repo/src/graphdb/graphdb.cpp" "src/CMakeFiles/rgc.dir/graphdb/graphdb.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/graphdb/graphdb.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rgc.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/net/network.cpp.o.d"
+  "/root/repo/src/rm/coherence.cpp" "src/CMakeFiles/rgc.dir/rm/coherence.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/rm/coherence.cpp.o.d"
+  "/root/repo/src/rm/heap.cpp" "src/CMakeFiles/rgc.dir/rm/heap.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/rm/heap.cpp.o.d"
+  "/root/repo/src/rm/process.cpp" "src/CMakeFiles/rgc.dir/rm/process.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/rm/process.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/rgc.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/CMakeFiles/rgc.dir/util/metrics.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/util/metrics.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rgc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/workload/figures.cpp" "src/CMakeFiles/rgc.dir/workload/figures.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/workload/figures.cpp.o.d"
+  "/root/repo/src/workload/mesh.cpp" "src/CMakeFiles/rgc.dir/workload/mesh.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/workload/mesh.cpp.o.d"
+  "/root/repo/src/workload/random_mutator.cpp" "src/CMakeFiles/rgc.dir/workload/random_mutator.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/workload/random_mutator.cpp.o.d"
+  "/root/repo/src/workload/trees.cpp" "src/CMakeFiles/rgc.dir/workload/trees.cpp.o" "gcc" "src/CMakeFiles/rgc.dir/workload/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

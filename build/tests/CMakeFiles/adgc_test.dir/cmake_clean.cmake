@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adgc_test.dir/adgc_test.cpp.o"
+  "CMakeFiles/adgc_test.dir/adgc_test.cpp.o.d"
+  "adgc_test"
+  "adgc_test.pdb"
+  "adgc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_trace_test.dir/algebra_trace_test.cpp.o"
+  "CMakeFiles/algebra_trace_test.dir/algebra_trace_test.cpp.o.d"
+  "algebra_trace_test"
+  "algebra_trace_test.pdb"
+  "algebra_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

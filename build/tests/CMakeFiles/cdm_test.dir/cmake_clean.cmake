@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdm_test.dir/cdm_test.cpp.o"
+  "CMakeFiles/cdm_test.dir/cdm_test.cpp.o.d"
+  "cdm_test"
+  "cdm_test.pdb"
+  "cdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

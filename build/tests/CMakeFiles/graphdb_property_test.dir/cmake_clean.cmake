@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_property_test.dir/graphdb_property_test.cpp.o"
+  "CMakeFiles/graphdb_property_test.dir/graphdb_property_test.cpp.o.d"
+  "graphdb_property_test"
+  "graphdb_property_test.pdb"
+  "graphdb_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

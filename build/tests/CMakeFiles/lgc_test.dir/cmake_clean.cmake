@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgc_test.dir/lgc_test.cpp.o"
+  "CMakeFiles/lgc_test.dir/lgc_test.cpp.o.d"
+  "lgc_test"
+  "lgc_test.pdb"
+  "lgc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

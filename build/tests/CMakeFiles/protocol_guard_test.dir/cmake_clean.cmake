@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_guard_test.dir/protocol_guard_test.cpp.o"
+  "CMakeFiles/protocol_guard_test.dir/protocol_guard_test.cpp.o.d"
+  "protocol_guard_test"
+  "protocol_guard_test.pdb"
+  "protocol_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_test.dir/race_test.cpp.o"
+  "CMakeFiles/race_test.dir/race_test.cpp.o.d"
+  "race_test"
+  "race_test.pdb"
+  "race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_io_test.dir/snapshot_io_test.cpp.o"
+  "CMakeFiles/snapshot_io_test.dir/snapshot_io_test.cpp.o.d"
+  "snapshot_io_test"
+  "snapshot_io_test.pdb"
+  "snapshot_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

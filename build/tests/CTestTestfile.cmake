@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/rm_test[1]_include.cmake")
+include("/root/repo/build/tests/lgc_test[1]_include.cmake")
+include("/root/repo/build/tests/adgc_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_test[1]_include.cmake")
+include("/root/repo/build/tests/cdm_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristics_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_io_test[1]_include.cmake")
+include("/root/repo/build/tests/daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/graphdb_test[1]_include.cmake")
+include("/root/repo/build/tests/graphdb_property_test[1]_include.cmake")
+include("/root/repo/build/tests/trees_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/race_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_guard_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
