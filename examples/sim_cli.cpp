@@ -2,17 +2,24 @@
 //
 //   $ ./example_sim_cli --processes 4 --deps 50 --mode both --report
 //   $ ./example_sim_cli --processes 3 --deps 25 --mode ours --policy distance
+//   $ ./example_sim_cli --processes 3 --full-gc --trace-out=run.json
 //
 // Builds the §5.2 triangle-mesh ring, runs one cycle detection (ours,
 // baseline, or both), prints steps/CDM totals, and optionally a full
-// cluster state report.
+// cluster state report.  With --trace-out / --trace-jsonl the run records
+// its full event timeline (spans, CDM lineage, counters — see
+// docs/OBSERVABILITY.md); with --mode both the files hold the *last* run
+// (the timeline is cleared between runs so lineage ids stay unambiguous).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 
 #include "core/report.h"
+#include "util/trace.h"
 #include "workload/mesh.h"
 
 using namespace rgc;
@@ -28,6 +35,9 @@ struct Options {
   std::uint64_t seed{1};
   bool report{false};
   bool full_gc{false};
+  std::string trace_out;    // Chrome trace_event JSON (chrome://tracing)
+  std::string trace_jsonl;  // one event object per line
+  std::string report_json;  // machine-readable ClusterReport
 };
 
 void usage(const char* argv0) {
@@ -35,40 +45,65 @@ void usage(const char* argv0) {
       "usage: %s [--processes N] [--deps D] [--extra-replicas B]\n"
       "          [--mode ours|baseline|both] [--policy "
       "exhaustive|distance|suspicion]\n"
-      "          [--seed S] [--full-gc] [--report]\n",
+      "          [--seed S] [--full-gc] [--report]\n"
+      "          [--trace-out=FILE] [--trace-jsonl=FILE] "
+      "[--report-json=FILE]\n",
       argv0);
 }
 
 bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // --flag=value spelling: split so every option accepts both forms.
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    auto value = [&]() -> const char* {
+      return has_inline ? inline_value.c_str() : next();
+    };
     if (arg == "--processes") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.processes = std::strtoull(v, nullptr, 10);
     } else if (arg == "--deps") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.deps = std::strtoull(v, nullptr, 10);
     } else if (arg == "--extra-replicas") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.extra_replicas = std::strtoull(v, nullptr, 10);
     } else if (arg == "--mode") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.mode = v;
     } else if (arg == "--policy") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.policy = v;
     } else if (arg == "--seed") {
-      const char* v = next();
+      const char* v = value();
       if (!v) return false;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.trace_out = v;
+    } else if (arg == "--trace-jsonl") {
+      const char* v = value();
+      if (!v) return false;
+      opt.trace_jsonl = v;
+    } else if (arg == "--report-json") {
+      const char* v = value();
+      if (!v) return false;
+      opt.report_json = v;
     } else if (arg == "--report") {
       opt.report = true;
     } else if (arg == "--full-gc") {
@@ -83,7 +118,22 @@ bool parse(int argc, char** argv, Options& opt) {
   return opt.processes >= 2 && opt.deps >= 1;
 }
 
-void run_one(const Options& opt, core::DetectorMode mode, const char* name) {
+bool write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& body,
+                const char* what) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for %s\n", path.c_str(), what);
+    return false;
+  }
+  body(os);
+  std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+  return true;
+}
+
+int run_one(const Options& opt, core::DetectorMode mode, const char* name,
+            util::Timeline* timeline) {
+  if (timeline != nullptr) timeline->clear();
   core::ClusterConfig cfg;
   cfg.mode = mode;
   cfg.net.seed = opt.seed;
@@ -127,6 +177,31 @@ void run_one(const Options& opt, core::DetectorMode mode, const char* name) {
                                       cdm_before),
       mesh.total_links, converged ? "yes" : "NO");
   if (opt.report) std::cout << core::make_report(cluster);
+
+  int rc = 0;
+  if (!opt.report_json.empty()) {
+    const core::ClusterReport report = core::make_report(cluster);
+    if (!write_file(opt.report_json,
+                    [&](std::ostream& os) { report.write_json(os); },
+                    "report JSON")) {
+      rc = 1;
+    }
+  }
+  if (timeline != nullptr) {
+    if (!opt.trace_out.empty() &&
+        !write_file(opt.trace_out,
+                    [&](std::ostream& os) { timeline->write_chrome_trace(os); },
+                    "Chrome trace")) {
+      rc = 1;
+    }
+    if (!opt.trace_jsonl.empty() &&
+        !write_file(opt.trace_jsonl,
+                    [&](std::ostream& os) { timeline->write_jsonl(os); },
+                    "JSONL trace")) {
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -137,13 +212,21 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  util::Timeline timeline;
+  const bool tracing = !opt.trace_out.empty() || !opt.trace_jsonl.empty();
+  if (tracing) util::Trace::instance().set_sink(&timeline);
+
   std::printf("mesh: %zu processes, %zu dependencies, %zu extra replicas\n",
               opt.processes, opt.deps, opt.extra_replicas);
+  int rc = 0;
   if (opt.mode == "ours" || opt.mode == "both") {
-    run_one(opt, core::DetectorMode::kReplicationAware, "ours");
+    rc |= run_one(opt, core::DetectorMode::kReplicationAware, "ours",
+                  tracing ? &timeline : nullptr);
   }
   if (opt.mode == "baseline" || opt.mode == "both") {
-    run_one(opt, core::DetectorMode::kBaseline, "baseline");
+    rc |= run_one(opt, core::DetectorMode::kBaseline, "baseline",
+                  tracing ? &timeline : nullptr);
   }
-  return 0;
+  if (tracing) util::Trace::instance().set_sink(nullptr);
+  return rc;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a sanitizer pass.
+#
+#   scripts/check.sh            # plain build + ctest, then ASan/UBSan build + ctest
+#   scripts/check.sh --fast     # plain build + ctest only
+#
+# The sanitizer pass uses the RGC_SANITIZE CMake option (see top-level
+# CMakeLists.txt) in a separate build tree so the plain tree stays warm.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+run_tree() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== plain build + tests =="
+run_tree build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== sanitizer build + tests (address,undefined) =="
+  run_tree build-asan -DRGC_SANITIZE=address,undefined
+fi
+
+echo "OK"

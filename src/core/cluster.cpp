@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace rgc::core {
 
@@ -117,6 +118,8 @@ std::uint64_t Cluster::run_until_quiescent(std::uint64_t max_steps) {
 gc::LgcResult Cluster::collect(ProcessId id) {
   Node& node = nodes_.at(id);
   rm::Process& proc = *node.process;
+  // Attribute collection-time log/trace output to the collecting process.
+  util::ScopedProcess ctx{id};
   gc::LgcConfig cfg;
   cfg.finalizer = &finalizer_;
   gc::LgcResult result = gc::Lgc::collect(proc, cfg);
@@ -137,7 +140,9 @@ void Cluster::collect_all() {
 }
 
 void Cluster::snapshot_all() {
+  TRACE_SPAN("cluster.snapshot_all");
   for (auto& [pid, node] : nodes_) {
+    util::ScopedProcess ctx{pid};
     node.detector->take_snapshot();
     if (config_.mode == DetectorMode::kBaseline) {
       node.baseline->take_snapshot();
@@ -171,23 +176,30 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
              metric_total("adgc.scions_deleted");
     };
     std::uint64_t reclaimed_this_round = 0;
-    for (std::size_t inner = 0; inner < 4 * nodes_.size() + 8; ++inner) {
-      const std::uint64_t signal_before = unlock_signal();
-      std::uint64_t reclaimed = 0;
-      for (auto& [pid, node] : nodes_) {
-        reclaimed += collect(pid).reclaimed.size();
+    {
+      util::SpanGuard acyclic{"gc.acyclic_phase"};
+      for (std::size_t inner = 0; inner < 4 * nodes_.size() + 8; ++inner) {
+        const std::uint64_t signal_before = unlock_signal();
+        std::uint64_t reclaimed = 0;
+        for (auto& [pid, node] : nodes_) {
+          reclaimed += collect(pid).reclaimed.size();
+        }
+        run_until_quiescent();
+        reclaimed_this_round += reclaimed;
+        if (reclaimed == 0 && unlock_signal() == signal_before) break;
       }
-      run_until_quiescent();
-      reclaimed_this_round += reclaimed;
-      if (reclaimed == 0 && unlock_signal() == signal_before) break;
+      acyclic.arg("round", stats.rounds);
+      acyclic.arg("reclaimed", reclaimed_this_round);
     }
     stats.reclaimed_objects += reclaimed_this_round;
 
     // Cyclic phase: fresh snapshots, then one detection per suspect under
     // the configured candidate policy.
+    util::SpanGuard cyclic{"gc.cyclic_phase"};
     snapshot_all();
     std::uint64_t started = 0;
     for (auto& [pid, node] : nodes_) {
+      util::ScopedProcess ctx{pid};
       const gc::ProcessSummary& s = config_.mode == DetectorMode::kBaseline
                                         ? node.baseline->summary()
                                         : node.detector->summary();
@@ -197,6 +209,8 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
     }
     stats.detections_started += started;
     run_until_quiescent();
+    cyclic.arg("round", stats.rounds);
+    cyclic.arg("detections", started);
 
     const std::uint64_t new_cycles = cycles_found_.size() - cycles_before;
     stats.cycles_found += new_cycles;

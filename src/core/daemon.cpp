@@ -1,5 +1,7 @@
 #include "core/daemon.h"
 
+#include "util/trace.h"
+
 namespace rgc::core {
 
 GcDaemon::GcDaemon(Cluster& cluster, DaemonConfig config)
@@ -14,15 +16,21 @@ void GcDaemon::step() {
   for (ProcessId pid : cluster_.process_ids()) {
     const std::uint64_t phase = now + raw(pid) * config_.stagger;
     if (phase % config_.collect_period == 0) {
+      TRACE_SPAN("daemon.collect", pid);
       cluster_.collect(pid);
       ++collections_;
     }
     if (phase % config_.snapshot_period == 0) {
+      util::SpanGuard sweep{"daemon.sweep", pid};
+      util::ScopedProcess ctx{pid};
       cluster_.detector(pid).take_snapshot();
       ++sweeps_;
+      std::uint64_t started = 0;
       for (ObjectId suspect : cluster_.suspects(pid)) {
-        if (cluster_.detect(pid, suspect).has_value()) ++detections_;
+        if (cluster_.detect(pid, suspect).has_value()) ++started;
       }
+      detections_ += started;
+      sweep.arg("detections", started);
     }
   }
 }

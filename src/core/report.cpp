@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/trace.h"
+
 namespace rgc::core {
 namespace {
 
@@ -20,6 +22,7 @@ ClusterReport make_report(const Cluster& cluster) {
   report.cycles_found = cluster.cycles_found().size();
 
   std::map<std::string, std::uint64_t> gc_totals;
+  std::map<std::string, util::Histogram> hist_totals;
   for (ProcessId pid : cluster.process_ids()) {
     const rm::Process& proc = cluster.process(pid);
     ProcessReport row;
@@ -37,6 +40,9 @@ ClusterReport make_report(const Cluster& cluster) {
     for (const auto& [name, value] : proc.metrics().snapshot()) {
       if (value != 0 && interesting_counter(name)) gc_totals[name] += value;
     }
+    for (const auto& [name, hist] : proc.metrics().histogram_snapshot()) {
+      if (hist->count() != 0) hist_totals[name].merge(*hist);
+    }
   }
   report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
 
@@ -46,6 +52,11 @@ ClusterReport make_report(const Cluster& cluster) {
       report.traffic.emplace_back(name.substr(kSentPrefix.size()), value);
     }
   }
+  for (const auto& [name, hist] :
+       cluster.network().metrics().histogram_snapshot()) {
+    if (hist->count() != 0) hist_totals[name].merge(*hist);
+  }
+  report.histograms.assign(hist_totals.begin(), hist_totals.end());
   return report;
 }
 
@@ -84,7 +95,61 @@ std::ostream& operator<<(std::ostream& os, const ClusterReport& report) {
     }
     os << "\n";
   }
+  for (const auto& [name, hist] : report.histograms) {
+    os << "  hist " << name << ": " << hist.to_string() << "\n";
+  }
   return os;
+}
+
+std::string ClusterReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void ClusterReport::write_json(std::ostream& os) const {
+  os << "{\n  \"now\": " << now << ",\n  \"cycles_found\": " << cycles_found
+     << ",\n  \"processes\": [\n";
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    const ProcessReport& row = processes[i];
+    os << "    {\"process\": " << raw(row.process)
+       << ", \"objects\": " << row.objects << ", \"roots\": " << row.roots
+       << ", \"stubs\": " << row.stubs << ", \"scions\": " << row.scions
+       << ", \"in_props\": " << row.in_props
+       << ", \"out_props\": " << row.out_props
+       << ", \"collections\": " << row.collections
+       << ", \"reclaimed\": " << row.reclaimed << "}"
+       << (i + 1 < processes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"traffic\": {";
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << util::json_escape(traffic[i].first)
+       << "\": " << traffic[i].second;
+  }
+  os << "},\n  \"gc_counters\": {";
+  for (std::size_t i = 0; i < gc_counters.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\""
+       << util::json_escape(gc_counters[i].first)
+       << "\": " << gc_counters[i].second;
+  }
+  os << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const util::Histogram& h = histograms[i].second;
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << util::json_escape(histograms[i].first) << "\": {\"count\": "
+       << h.count() << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"buckets\": [";
+    // Trailing zero buckets carry no information; stop at the last non-zero.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < util::Histogram::kBuckets; ++b) {
+      if (h.buckets()[b] != 0) last = b;
+    }
+    for (std::size_t b = 0; b <= last; ++b) {
+      os << (b == 0 ? "" : ", ") << h.buckets()[b];
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
 }  // namespace rgc::core

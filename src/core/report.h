@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "util/metrics.h"
 
 namespace rgc::core {
 
@@ -32,10 +33,18 @@ struct ClusterReport {
   std::vector<std::pair<std::string, std::uint64_t>> traffic;
   /// Aggregated GC counters (cycle.*, adgc.*, lgc.* sums).
   std::vector<std::pair<std::string, std::uint64_t>> gc_counters;
+  /// Distributions merged across processes and the network (cdm.hops,
+  /// cycle.steps_to_detection, net.queue_depth, lgc.* per-collection).
+  std::vector<std::pair<std::string, util::Histogram>> histograms;
   std::uint64_t cycles_found{0};
 
   /// Fixed-width table rendering.
   [[nodiscard]] std::string to_string() const;
+
+  /// Machine-readable JSON rendering (one object; pretty-printed).  The
+  /// same data as the table, plus full histogram buckets.
+  [[nodiscard]] std::string to_json() const;
+  void write_json(std::ostream& os) const;
 };
 
 std::ostream& operator<<(std::ostream& os, const ClusterReport& report);

@@ -4,16 +4,48 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace rgc::gc {
+namespace {
+
+std::vector<util::TraceArg> cdm_args(const Cdm& cdm) {
+  return {util::TraceArg::num("detection", cdm.detection_id),
+          util::TraceArg::str("candidate", to_string(cdm.candidate)),
+          util::TraceArg::num("targets", cdm.targets.size()),
+          util::TraceArg::num("hops", cdm.hops)};
+}
+
+}  // namespace
 
 CycleDetector::CycleDetector(rm::Process& process, DetectorConfig config)
-    : process_(process), config_(config) {}
+    : process_(process), config_(config) {
+  util::Metrics& m = process_.metrics();
+  counters_.snapshots = m.counter("cycle.snapshots");
+  counters_.detections_started = m.counter("cycle.detections_started");
+  counters_.cdms_received = m.counter("cycle.cdms_received");
+  counters_.drops_no_snapshot = m.counter("cycle.drops_no_snapshot");
+  counters_.drops_subsumed = m.counter("cycle.drops_subsumed");
+  counters_.cdms_sent = m.counter("cycle.cdms_sent");
+  counters_.forwards = m.counter("cycle.forwards");
+  counters_.local_forks = m.counter("cycle.local_forks");
+  counters_.cycles_found = m.counter("cycle.cycles_found");
+  counters_.tracks_ended = m.counter("cycle.tracks_ended");
+  counters_.aborts_live = m.counter("cycle.aborts_live");
+  counters_.aborts_race = m.counter("cycle.aborts_race");
+  counters_.drops_unknown_entity = m.counter("cycle.drops_unknown_entity");
+  counters_.live_ancestor_skips = m.counter("cycle.live_ancestor_skips");
+  counters_.live_continuation_skips = m.counter("cycle.live_continuation_skips");
+  counters_.live_stub_skips = m.counter("cycle.live_stub_skips");
+  hops_hist_ = &m.histogram("cdm.hops");
+  steps_hist_ = &m.histogram("cycle.steps_to_detection");
+}
 
 void CycleDetector::take_snapshot() {
+  TRACE_SPAN("cycle.snapshot", process_.id());
   summary_ = summarize(process_);
   seen_entries_.clear();
-  process_.metrics().add("cycle.snapshots");
+  counters_.snapshots.inc();
 }
 
 void CycleDetector::adopt_snapshot(ProcessSummary summary) {
@@ -51,6 +83,12 @@ std::optional<std::uint64_t> CycleDetector::start_detection(ObjectId candidate) 
   Cdm cdm;
   cdm.detection_id = (static_cast<std::uint64_t>(raw(self)) << 32) | ++next_serial_;
   cdm.candidate = Replica{candidate, self};
+  cdm.started_step = process_.network().now();
+  // Lineage root: every later event of this detection chains back here.
+  if (auto& trace = util::Trace::instance(); trace.enabled()) {
+    cdm.trace_id = trace.instant("cdm.start", self, /*parent=*/0,
+                                 /*with_id=*/true, cdm_args(cdm));
+  }
   // The candidate seeds the reference-dependency set (the paper's Alg0:
   // {{}, {X_P1}} -> {}); it enters the target set only when the detection
   // returns to it, which is what closes the loop.
@@ -59,25 +97,34 @@ std::optional<std::uint64_t> CycleDetector::start_detection(ObjectId candidate) 
   std::vector<rm::StubKey> remote_out;
   const Visit v = examine(cdm, candidate, /*as_start=*/true, remote_out);
   if (v != Visit::kOk) {
-    record_abort(v);
+    record_abort(v, cdm.trace_id);
     return std::nullopt;
   }
-  process_.metrics().add("cycle.detections_started");
+  counters_.detections_started.inc();
   conclude(cdm, remote_out);
   return cdm.detection_id;
 }
 
 void CycleDetector::on_cdm(const net::Envelope& env, const CdmMsg& msg) {
-  process_.metrics().add("cycle.cdms_received");
+  counters_.cdms_received.inc();
+  auto& trace = util::Trace::instance();
   if (!summary_.has_value()) {
     // Safety rule 1 (§3.5.2): our snapshot is not current enough to pair
     // with the sender's — ignore the CDM.
-    process_.metrics().add("cycle.drops_no_snapshot");
+    counters_.drops_no_snapshot.inc();
+    if (trace.enabled()) {
+      trace.instant("cdm.drop", process_.id(), msg.cdm.trace_id, false,
+                    {util::TraceArg::str("reason", "no_snapshot")});
+    }
     return;
   }
   (void)env;
   if (subsumed(msg.cdm.detection_id, msg.entry, msg.cdm.targets)) {
-    process_.metrics().add("cycle.drops_subsumed");
+    counters_.drops_subsumed.inc();
+    if (trace.enabled()) {
+      trace.instant("cdm.drop", process_.id(), msg.cdm.trace_id, false,
+                    {util::TraceArg::str("reason", "subsumed")});
+    }
     return;
   }
   RGC_DEBUG("cycle: ", to_string(process_.id()), " <- CDM",
@@ -86,10 +133,19 @@ void CycleDetector::on_cdm(const net::Envelope& env, const CdmMsg& msg) {
             msg.via == EntryVia::kProp ? " via prop " : " via ref ",
             msg.cdm.to_string());
   Cdm cdm = msg.cdm;
+  ++cdm.hops;
+  if (trace.enabled()) {
+    auto args = cdm_args(cdm);
+    args.push_back(util::TraceArg::str("entry", to_string(msg.entry)));
+    args.push_back(util::TraceArg::str(
+        "via", msg.via == EntryVia::kProp ? "prop" : "ref"));
+    cdm.trace_id = trace.instant("cdm.recv", process_.id(), msg.cdm.trace_id,
+                                 /*with_id=*/true, std::move(args));
+  }
   std::vector<rm::StubKey> remote_out;
   const Visit v = examine(cdm, msg.entry, /*as_start=*/false, remote_out);
   if (v != Visit::kOk) {
-    record_abort(v);
+    record_abort(v, cdm.trace_id);
     return;
   }
   conclude(cdm, remote_out);
@@ -230,7 +286,7 @@ CycleDetector::Visit CycleDetector::examine(Cdm& cdm, ObjectId obj,
     if (anc == obj) continue;
     if (cdm.targets.contains(Element::make(Replica{anc, self}))) continue;
     if (locally_live(anc)) {
-      process_.metrics().add("cycle.live_ancestor_skips");
+      counters_.live_ancestor_skips.inc();
       continue;
     }
     const Visit v = examine(cdm, anc, /*as_start=*/false, remote_out);
@@ -254,12 +310,17 @@ CycleDetector::Visit CycleDetector::examine(Cdm& cdm, ObjectId obj,
       // not part of any garbage cycle — the traversal ends here, without
       // condemning the track ("when a locally reachable object is found,
       // the tracing along that reference path ends", §2.2.2).
-      process_.metrics().add("cycle.live_continuation_skips");
+      counters_.live_continuation_skips.inc();
       continue;
     }
     viable.push_back(next);
   }
   if (viable.size() == 1) {
+    if (auto& trace = util::Trace::instance(); trace.enabled()) {
+      trace.instant("cdm.merge", self, cdm.trace_id, false,
+                    {util::TraceArg::str(
+                        "into", to_string(Replica{viable.front(), self}))});
+    }
     const Visit v = examine(cdm, viable.front(), /*as_start=*/false, remote_out);
     if (v != Visit::kOk && v != Visit::kUnknownEntity) return v;
   } else {
@@ -268,10 +329,15 @@ CycleDetector::Visit CycleDetector::examine(Cdm& cdm, ObjectId obj,
       // path; the trunk keeps the reference sends (one copy each).
       Cdm branch = cdm;
       std::vector<rm::StubKey> branch_out;
-      process_.metrics().add("cycle.local_forks");
+      counters_.local_forks.inc();
+      if (auto& trace = util::Trace::instance(); trace.enabled()) {
+        branch.trace_id = trace.instant(
+            "cdm.fork", self, cdm.trace_id, /*with_id=*/true,
+            {util::TraceArg::str("branch", to_string(Replica{next, self}))});
+      }
       const Visit v = examine(branch, next, /*as_start=*/false, branch_out);
       if (v == Visit::kAbortRace) {
-        record_abort(v);
+        record_abort(v, branch.trace_id);
         continue;  // this branch dies; its siblings live on
       }
       if (v == Visit::kOk) conclude(branch, branch_out);
@@ -295,7 +361,7 @@ CycleDetector::Visit CycleDetector::examine_stub(
     // very reference: it is live.  The link dependency must stay
     // unresolved (skipping is required for safety, not an optimization —
     // the target side cannot see our roots).
-    process_.metrics().add("cycle.live_stub_skips");
+    counters_.live_stub_skips.inc();
     return Visit::kOk;
   }
   if (!cdm.observe({link, ts.ic})) return Visit::kAbortRace;
@@ -326,9 +392,23 @@ CycleDetector::Visit CycleDetector::examine_stub(
 
 void CycleDetector::conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_out) {
   const ProcessId self = process_.id();
+  auto& trace = util::Trace::instance();
 
   if (cdm.cycle_complete()) {
-    process_.metrics().add("cycle.cycles_found");
+    counters_.cycles_found.inc();
+    const std::uint64_t now = process_.network().now();
+    const std::uint64_t steps =
+        now >= cdm.started_step ? now - cdm.started_step : 0;
+    steps_hist_->record(steps);
+    hops_hist_->record(cdm.hops);
+    if (trace.enabled()) {
+      // The verdict names the closing CDM: its parent is the lineage id of
+      // the last CDM event on the completing track.
+      auto args = cdm_args(cdm);
+      args.push_back(util::TraceArg::num("steps", steps));
+      trace.instant("cycle.detected", self, cdm.trace_id, /*with_id=*/true,
+                    std::move(args));
+    }
     RGC_INFO("cycle: ", to_string(self), " proved garbage cycle headed by ",
              to_string(cdm.candidate), " :: ", cdm.to_string());
     if (on_cycle_found) on_cycle_found(cdm);
@@ -359,9 +439,15 @@ void CycleDetector::conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_ou
     msg->entry = dest.object;
     msg->via = EntryVia::kProp;
     msg->forwarded = true;
+    if (trace.enabled()) {
+      msg->cdm.trace_id = trace.instant(
+          "cdm.forward", self, cdm.trace_id, /*with_id=*/true,
+          {util::TraceArg::num("detection", cdm.detection_id),
+           util::TraceArg::str("to", to_string(dest))});
+    }
     process_.network().send(self, dest.process, std::move(msg));
-    process_.metrics().add("cycle.cdms_sent");
-    process_.metrics().add("cycle.forwards");
+    counters_.cdms_sent.inc();
+    counters_.forwards.inc();
   };
   auto send_refs = [&]() -> bool {
     // Fork one CDM per unresolved reference target (§3.4's multiple
@@ -380,8 +466,14 @@ void CycleDetector::conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_ou
       msg->cdm = cdm;
       msg->entry = target.object;
       msg->via = EntryVia::kRef;
+      if (trace.enabled()) {
+        msg->cdm.trace_id = trace.instant(
+            "cdm.send", self, cdm.trace_id, /*with_id=*/true,
+            {util::TraceArg::num("detection", cdm.detection_id),
+             util::TraceArg::str("to", to_string(target))});
+      }
       process_.network().send(self, target.process, std::move(msg));
-      process_.metrics().add("cycle.cdms_sent");
+      counters_.cdms_sent.inc();
     }
     return true;
   };
@@ -416,7 +508,13 @@ void CycleDetector::conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_ou
     }
   }
 
-  process_.metrics().add("cycle.tracks_ended");
+  counters_.tracks_ended.inc();
+  hops_hist_->record(cdm.hops);
+  if (trace.enabled()) {
+    trace.instant("cdm.track_end", self, cdm.trace_id, false,
+                  {util::TraceArg::num("detection", cdm.detection_id),
+                   util::TraceArg::num("unresolved", cdm.unresolved().size())});
+  }
   RGC_DEBUG("cycle: ", to_string(self), " track ended for ",
             to_string(cdm.candidate), ", unresolved ",
             util::detail::concat([&] {
@@ -462,6 +560,11 @@ CutMsg CycleDetector::make_cut(const Cdm& cdm) {
 
 void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
   (void)env;
+  if (auto& trace = util::Trace::instance(); trace.enabled()) {
+    trace.instant("cycle.cut", process_.id(), 0, false,
+                  {util::TraceArg::num("detection", msg.detection_id),
+                   util::TraceArg::str("candidate", rgc::to_string(msg.candidate))});
+  }
   auto& scions = process_.scions();
   for (const auto& [key, expected_ic] : msg.scion_cuts) {
     auto it = scions.find(key);
@@ -510,19 +613,27 @@ void CycleDetector::on_prop_cut(const net::Envelope& env, const PropCutMsg& msg)
   process_.metrics().add("cycle.outprops_cut");
 }
 
-void CycleDetector::record_abort(Visit v) {
+void CycleDetector::record_abort(Visit v, std::uint64_t parent) {
+  const char* reason = nullptr;
   switch (v) {
     case Visit::kAbortLive:
-      process_.metrics().add("cycle.aborts_live");
+      counters_.aborts_live.inc();
+      reason = "live";
       break;
     case Visit::kAbortRace:
-      process_.metrics().add("cycle.aborts_race");
+      counters_.aborts_race.inc();
+      reason = "race";
       break;
     case Visit::kUnknownEntity:
-      process_.metrics().add("cycle.drops_unknown_entity");
+      counters_.drops_unknown_entity.inc();
+      reason = "unknown_entity";
       break;
     case Visit::kOk:
-      break;
+      return;
+  }
+  if (auto& trace = util::Trace::instance(); trace.enabled()) {
+    trace.instant("cdm.abort", process_.id(), parent, false,
+                  {util::TraceArg::str("reason", reason)});
   }
 }
 

@@ -46,6 +46,7 @@
 #include "gc/cycle/summary.h"
 #include "rm/process.h"
 #include "util/ids.h"
+#include "util/metrics.h"
 
 namespace rgc::gc {
 
@@ -120,7 +121,9 @@ class CycleDetector {
   /// Post-examination: verdict, flood, forward, or end of track.
   void conclude(Cdm& cdm, const std::vector<rm::StubKey>& remote_out);
 
-  void record_abort(Visit v);
+  /// Counts the abort and emits a lineage-terminating trace event chained
+  /// to `parent` (the track's latest CDM event).
+  void record_abort(Visit v, std::uint64_t parent);
 
   /// Per-(detection, entry) subsumption filter: an arriving CDM whose
   /// target set is a subset of one already processed here for the same
@@ -129,8 +132,35 @@ class CycleDetector {
   bool subsumed(std::uint64_t detection, ObjectId entry,
                 const util::FlatSet<Element>& targets);
 
+  /// Hot-path counter handles, resolved once at construction (the
+  /// Metrics::add string-lookup fix); cold verdict-path counters keep the
+  /// string API.
+  struct Counters {
+    util::Counter snapshots;
+    util::Counter detections_started;
+    util::Counter cdms_received;
+    util::Counter drops_no_snapshot;
+    util::Counter drops_subsumed;
+    util::Counter cdms_sent;
+    util::Counter forwards;
+    util::Counter local_forks;
+    util::Counter cycles_found;
+    util::Counter tracks_ended;
+    util::Counter aborts_live;
+    util::Counter aborts_race;
+    util::Counter drops_unknown_entity;
+    util::Counter live_ancestor_skips;
+    util::Counter live_continuation_skips;
+    util::Counter live_stub_skips;
+  };
+
   rm::Process& process_;
   DetectorConfig config_;
+  Counters counters_;
+  /// Distribution handles: cdm.hops (deliveries per track at verdict) and
+  /// cycle.steps_to_detection (sim steps from start to proof).
+  util::Histogram* hops_hist_{nullptr};
+  util::Histogram* steps_hist_{nullptr};
   std::optional<ProcessSummary> summary_;
   std::uint64_t next_serial_{0};
   std::map<std::pair<std::uint64_t, ObjectId>,

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gc/lgc/lgc.h"
+#include "util/trace.h"
 
 namespace rgc::gc {
 
@@ -58,6 +59,7 @@ bool leads_to_anchor(const rm::Process& process, const ForwardReach& fr,
 }  // namespace
 
 ProcessSummary summarize(const rm::Process& process) {
+  TRACE_SPAN("cycle.summarize", process.id());
   ProcessSummary s;
   s.process = process.id();
   s.taken_at = process.network().now();

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace rgc::gc {
 
@@ -63,6 +64,7 @@ void Lgc::trace(const rm::Process& process, const std::vector<ObjectId>& seeds,
 }
 
 LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
+  util::SpanGuard span{"lgc.collect", process.id()};
   LgcResult result;
 
   // Phase 1 — mutator roots (including transient invocation roots).
@@ -133,8 +135,14 @@ LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
     }
   }
 
-  process.metrics().add("lgc.collections");
-  process.metrics().add("lgc.reclaimed", result.reclaimed.size());
+  process.counters().lgc_collections.inc();
+  process.counters().lgc_reclaimed.inc(result.reclaimed.size());
+  process.metrics().histogram("lgc.reclaimed_per_collection")
+      .record(result.reclaimed.size());
+  process.metrics().histogram("lgc.traced_per_collection").record(result.traced);
+  span.arg("reclaimed", result.reclaimed.size());
+  span.arg("traced", result.traced);
+  span.arg("live_stubs", result.live_stubs.size());
   RGC_DEBUG("lgc: ", to_string(process.id()), " reclaimed ",
             result.reclaimed.size(), " objects, ", result.live_stubs.size(),
             " live stubs");

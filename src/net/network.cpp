@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace rgc::net {
 
@@ -12,23 +13,49 @@ Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL) {
   if (config_.min_delay < 1) config_.min_delay = 1;
   if (config_.max_delay < config_.min_delay) config_.max_delay = config_.min_delay;
+  dropped_ = metrics_.counter("net.dropped");
+  duplicated_ = metrics_.counter("net.duplicated");
+  queue_depth_ = metrics_.gauge("net.queue_depth");
+  queue_depth_hist_ = &metrics_.histogram("net.queue_depth");
 }
 
 void Network::attach(ProcessId process, Handler handler) {
   handlers_[process] = std::move(handler);
 }
 
+Network::KindCounters& Network::counters_for(const char* kind) {
+  auto it = kind_counters_.find(kind);
+  if (it == kind_counters_.end()) {
+    const std::string k{kind};
+    KindCounters handles{metrics_.counter("net.sent." + k),
+                         metrics_.counter("net.delivered." + k),
+                         metrics_.counter("net.weight." + k)};
+    it = kind_counters_.emplace(k, handles).first;
+  }
+  return it->second;
+}
+
 std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
   assert(msg != nullptr);
-  const std::string kind = msg->kind();
-  metrics_.add("net.sent." + kind);
-  metrics_.add("net.weight." + kind, msg->weight());
+  const char* kind = msg->kind();
+  KindCounters& counters = counters_for(kind);
+  counters.sent.inc();
+  counters.weight.inc(msg->weight());
   if (per_step_sent_.size() <= now_) per_step_sent_.resize(now_ + 1);
   ++per_step_sent_[now_][kind];
 
   const std::uint64_t seq = ++link_seq_[{src, dst}];
+  auto& trace = util::Trace::instance();
+  if (trace.enabled()) {
+    trace.instant("net.send", src, /*parent=*/0, /*with_id=*/false,
+                  {util::TraceArg::str("kind", kind),
+                   util::TraceArg::num("dst", raw(dst)),
+                   util::TraceArg::num("seq", seq),
+                   util::TraceArg::num("weight", msg->weight())});
+  }
   if (!msg->reliable() && rng_.chance(config_.drop_probability)) {
-    metrics_.add("net.dropped");
+    dropped_.inc();
+    trace.instant("net.drop", src, 0, false);
     return seq;
   }
   enqueue(src, dst, std::move(msg), seq, now_);
@@ -49,7 +76,7 @@ void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
     due = std::max(due, horizon);
     horizon = due;
   } else if (rng_.chance(config_.duplicate_probability)) {
-    metrics_.add("net.duplicated");
+    duplicated_.inc();
     in_flight_.push_back(
         {now_ + delay + 1, src, dst, seq, sent_at, msg->clone()});
   }
@@ -58,6 +85,7 @@ void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
 
 bool Network::step() {
   ++now_;
+  util::Trace::set_sim_now(now_);
   // Deterministic delivery order: due step, then link, then send order.
   std::stable_sort(in_flight_.begin(), in_flight_.end(),
                    [](const InFlight& a, const InFlight& b) {
@@ -72,19 +100,34 @@ bool Network::step() {
   }
   in_flight_ = std::move(later);
 
+  auto& trace = util::Trace::instance();
   for (auto& m : due) {
     auto it = handlers_.find(m.dst);
     if (it == handlers_.end()) {
       throw std::logic_error("message addressed to unattached process " +
                              to_string(m.dst));
     }
-    metrics_.add(std::string("net.delivered.") + m.msg->kind());
-    RGC_TRACE("net: step ", now_, " deliver ", m.msg->kind(), " ",
-              to_string(m.src), "->", to_string(m.dst));
+    counters_for(m.msg->kind()).delivered.inc();
+    // Handler runs in the destination's context: RGC_LOG lines and trace
+    // events it emits are attributed to (step, dst).
+    const util::ScopedProcess ctx{m.dst};
+    if (trace.enabled()) {
+      trace.instant("net.deliver", m.dst, 0, false,
+                    {util::TraceArg::str("kind", m.msg->kind()),
+                     util::TraceArg::num("src", raw(m.src)),
+                     util::TraceArg::num("latency", now_ - m.sent_at)});
+    }
+    RGC_TRACE("net: deliver ", m.msg->kind(), " ", to_string(m.src), "->",
+              to_string(m.dst));
     const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
     if (tap_) tap_(env);
     it->second(env);
   }
+
+  const std::uint64_t depth = in_flight_.size();
+  queue_depth_.set(depth);
+  queue_depth_hist_->record(depth);
+  trace.counter("net.queue_depth", kNoProcess, depth);
   return !in_flight_.empty();
 }
 

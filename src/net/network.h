@@ -73,7 +73,8 @@ class Network {
   [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
 
   /// Cumulative counters: "net.sent.<kind>", "net.delivered.<kind>",
-  /// "net.dropped", "net.weight.<kind>".
+  /// "net.dropped", "net.weight.<kind>"; gauge "net.queue_depth" and the
+  /// like-named histogram sampled once per step.
   [[nodiscard]] const util::Metrics& metrics() const noexcept { return metrics_; }
   util::Metrics& metrics() noexcept { return metrics_; }
 
@@ -98,9 +99,24 @@ class Network {
   void enqueue(ProcessId src, ProcessId dst, MessagePtr msg, std::uint64_t seq,
                std::uint64_t sent_at);
 
+  /// Per-kind counter handles resolved once per kind instead of one
+  /// string-concatenation + map lookup per message (the Metrics::add hot
+  /// path fix).
+  struct KindCounters {
+    util::Counter sent;
+    util::Counter delivered;
+    util::Counter weight;
+  };
+  KindCounters& counters_for(const char* kind);
+
   NetworkConfig config_;
   util::Rng rng_;
   util::Metrics metrics_;
+  std::map<std::string, KindCounters> kind_counters_;
+  util::Counter dropped_;
+  util::Counter duplicated_;
+  util::Gauge queue_depth_;
+  util::Histogram* queue_depth_hist_{nullptr};
   std::uint64_t now_{0};
   std::map<ProcessId, Handler> handlers_;
   Handler tap_;

@@ -27,7 +27,7 @@ void Process::propagate(ObjectId object, ProcessId to) {
   if (op == nullptr) {
     out_props_.push_back(OutProp{object, to, 0, false});
     op = &out_props_.back();
-    metrics_.add("rm.outprops_created");
+    counters_.outprops_created.inc();
   }
   ++op->uc;
   // A fresh propagation makes any previous Unreachable report from this
@@ -46,7 +46,7 @@ void Process::propagate(ObjectId object, ProcessId to) {
   // than the next simulation step, so creating them here preserves the
   // causal order scion-before-stub.
   export_references(*obj, to, seq);
-  metrics_.add("rm.propagations");
+  counters_.propagations.inc();
   RGC_DEBUG("rm: ", to_string(id_), " propagate ", to_string(object), " -> ",
             to_string(to), " uc=", op->uc);
 }
@@ -66,7 +66,7 @@ void Process::export_references(const Object& object, ProcessId to,
                   object.id) == scion.src_objects.end()) {
       scion.src_objects.push_back(object.id);
     }
-    if (inserted) metrics_.add("rm.scions_created");
+    if (inserted) counters_.scions_created.inc();
   }
 }
 
@@ -91,7 +91,7 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
     if (stubs_.contains(key)) continue;
     stubs_.emplace(key, Stub{key, 0, network_->now()});
     stub_peers_.insert(env.src);
-    metrics_.add("rm.stubs_created");
+    counters_.stubs_created.inc();
   }
 
   heap_.put(msg.object, std::move(bound), msg.payload_bytes);
@@ -99,13 +99,13 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
   InProp* ip = find_in_prop(msg.object, env.src);
   if (ip == nullptr) {
     in_props_.push_back(InProp{msg.object, env.src, msg.uc, false});
-    metrics_.add("rm.inprops_created");
+    counters_.inprops_created.inc();
   } else {
     ip->uc = msg.uc;
     // The replica just changed; any earlier Unreachable report is stale.
     ip->sent_umess = false;
   }
-  metrics_.add("rm.propagations_delivered");
+  counters_.propagations_delivered.inc();
   RGC_DEBUG("rm: ", to_string(id_), " delivered replica ",
             to_string(msg.object), " from ", to_string(env.src));
 }
@@ -128,7 +128,7 @@ void Process::invoke(ObjectId target, std::uint32_t root_steps) {
 
   // The caller holds the reference in a register for the call's duration.
   pin_transient_root(target, root_steps);
-  metrics_.add("rm.invocations");
+  counters_.invocations.inc();
 }
 
 void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
@@ -144,7 +144,7 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
   // The callee's runtime holds the target while the invocation executes
   // (or while it forwards the call further down the chain).
   pin_transient_root(msg.target, msg.root_steps);
-  metrics_.add("rm.invocations_delivered");
+  counters_.invocations_delivered.inc();
 
   if (!heap_.contains(msg.target)) {
     // SSP chains (§2.2.4): the scion's anchor is not local — this node is
@@ -163,7 +163,7 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
     fwd->ic = stub.ic;
     fwd->root_steps = msg.root_steps;
     network_->send(id_, next.front().target_process, std::move(fwd));
-    metrics_.add("rm.invocations_forwarded");
+    counters_.invocations_forwarded.inc();
   }
 }
 

@@ -7,6 +7,22 @@
 
 namespace rgc::rm {
 
+ProcessCounters::ProcessCounters(util::Metrics& metrics)
+    : objects_created(metrics.counter("rm.objects_created")),
+      ref_assignments(metrics.counter("rm.ref_assignments")),
+      ref_removals(metrics.counter("rm.ref_removals")),
+      propagations(metrics.counter("rm.propagations")),
+      propagations_delivered(metrics.counter("rm.propagations_delivered")),
+      invocations(metrics.counter("rm.invocations")),
+      invocations_delivered(metrics.counter("rm.invocations_delivered")),
+      invocations_forwarded(metrics.counter("rm.invocations_forwarded")),
+      scions_created(metrics.counter("rm.scions_created")),
+      stubs_created(metrics.counter("rm.stubs_created")),
+      inprops_created(metrics.counter("rm.inprops_created")),
+      outprops_created(metrics.counter("rm.outprops_created")),
+      lgc_collections(metrics.counter("lgc.collections")),
+      lgc_reclaimed(metrics.counter("lgc.reclaimed")) {}
+
 Process::Process(ProcessId id, net::Network& network)
     : id_(id), network_(&network) {}
 
@@ -15,7 +31,7 @@ Object& Process::create_object(ObjectId id, std::uint32_t payload_bytes) {
     throw std::logic_error("create_object: " + to_string(id) +
                            " already exists on " + to_string(id_));
   }
-  metrics_.add("rm.objects_created");
+  counters_.objects_created.inc();
   return heap_.put(id, {}, payload_bytes);
 }
 
@@ -39,7 +55,7 @@ void Process::add_ref(ObjectId from, ObjectId to) {
     ref.via = stubs.front().target_process;
   }
   src->add_ref(ref);
-  metrics_.add("rm.ref_assignments");
+  counters_.ref_assignments.inc();
 }
 
 void Process::remove_ref(ObjectId from, ObjectId to) {
@@ -49,7 +65,7 @@ void Process::remove_ref(ObjectId from, ObjectId to) {
                            " is not local to " + to_string(id_));
   }
   src->remove_ref(to);
-  metrics_.add("rm.ref_removals");
+  counters_.ref_removals.inc();
 }
 
 void Process::add_root(ObjectId target) {

@@ -27,6 +27,29 @@
 
 namespace rgc::rm {
 
+/// Pre-registered hot-path counter handles (see util/metrics.h): resolved
+/// once at process construction, incremented by pointer dereference.  The
+/// string Metrics API stays available for cold paths; both views share the
+/// same storage.
+struct ProcessCounters {
+  util::Counter objects_created;
+  util::Counter ref_assignments;
+  util::Counter ref_removals;
+  util::Counter propagations;
+  util::Counter propagations_delivered;
+  util::Counter invocations;
+  util::Counter invocations_delivered;
+  util::Counter invocations_forwarded;
+  util::Counter scions_created;
+  util::Counter stubs_created;
+  util::Counter inprops_created;
+  util::Counter outprops_created;
+  util::Counter lgc_collections;
+  util::Counter lgc_reclaimed;
+
+  explicit ProcessCounters(util::Metrics& metrics);
+};
+
 class Process {
  public:
   Process(ProcessId id, net::Network& network);
@@ -139,6 +162,9 @@ class Process {
   [[nodiscard]] const util::Metrics& metrics() const noexcept { return metrics_; }
   util::Metrics& metrics() noexcept { return metrics_; }
 
+  /// Hot-path counter handles (same storage as metrics()).
+  [[nodiscard]] ProcessCounters& counters() noexcept { return counters_; }
+
  private:
   /// Creates or refreshes the scions for `object`'s enclosed references
   /// toward `to` ("clean before send"); `seq` is recorded as the creation
@@ -158,6 +184,7 @@ class Process {
   std::uint64_t collection_epoch_{0};
   std::map<ProcessId, std::uint64_t> newsetstubs_epochs_;
   util::Metrics metrics_;
+  ProcessCounters counters_{metrics_};
 };
 
 }  // namespace rgc::rm

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/trace.h"
+
 namespace rgc::util {
 namespace {
 
@@ -24,7 +26,19 @@ void set_log_level(LogLevel level) noexcept { g_level = level; }
 LogLevel log_level() noexcept { return g_level; }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+  // Attribution context (set by the cluster/network step loop): sim step
+  // and the process whose handler is running, so interleaved protocol
+  // logs can be told apart.
+  const ProcessId pid = Trace::current_process();
+  if (pid == kNoProcess) {
+    std::fprintf(stderr, "[%s][step %llu] %s\n", tag(level),
+                 static_cast<unsigned long long>(Trace::sim_now()),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s][step %llu][P%u] %s\n", tag(level),
+                 static_cast<unsigned long long>(Trace::sim_now()), raw(pid),
+                 msg.c_str());
+  }
 }
 
 }  // namespace rgc::util

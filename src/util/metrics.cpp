@@ -1,5 +1,7 @@
 #include "util/metrics.h"
 
+#include <cstdio>
+
 namespace rgc::util {
 
 void Metrics::add(const std::string& name, std::uint64_t delta) {
@@ -11,12 +13,54 @@ std::uint64_t Metrics::get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+Counter Metrics::counter(const std::string& name) {
+  return Counter{&counters_[name]};
+}
+
+Gauge Metrics::gauge(const std::string& name) { return Gauge{&gauges_[name]}; }
+
+std::uint64_t Metrics::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const Histogram* Metrics::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void Metrics::reset() {
   for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, value] : gauges_) value = 0;
+  for (auto& [name, hist] : histograms_) hist.reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Metrics::snapshot() const {
   return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::gauge_snapshot() const {
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Metrics::histogram_snapshot() const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) out.emplace_back(name, &hist);
+  return out;
+}
+
+std::string Histogram::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "count=%llu min=%llu max=%llu mean=%.2f",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min_),
+                static_cast<unsigned long long>(max_), mean());
+  return buf;
 }
 
 }  // namespace rgc::util

@@ -1,12 +1,20 @@
-// Named monotonic counters.
+// Named monotonic counters, gauges, and log2 histograms.
 //
 // Every subsystem reports into one registry (messages sent per kind, CDMs
 // issued, scions cut, objects reclaimed, detections aborted by the race
 // barrier, ...).  The benchmark harness reads the registry to print the
 // paper's tables; tests use it to assert protocol economy (e.g. Figure 8's
 // "fewer CDMs than the baseline").
+//
+// Hot paths use *pre-registered handles* (Counter / Gauge) resolved once at
+// construction time; incrementing through a handle is a single pointer
+// dereference.  The string API (`add`/`get`) remains as a compatibility
+// shim for cold paths and tests — both views share the same storage, so a
+// handle and the string lookup always agree.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -14,22 +22,135 @@
 
 namespace rgc::util {
 
+/// Pre-registered counter handle: one pointer dereference per increment.
+/// Obtained from Metrics::counter(); stays valid for the Metrics' lifetime
+/// (reset() zeroes values but never erases slots).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) noexcept {
+    if (slot_ != nullptr) *slot_ += delta;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return slot_ == nullptr ? 0 : *slot_;
+  }
+  [[nodiscard]] bool valid() const noexcept { return slot_ != nullptr; }
+
+ private:
+  friend class Metrics;
+  explicit Counter(std::uint64_t* slot) noexcept : slot_(slot) {}
+  std::uint64_t* slot_{nullptr};
+};
+
+/// Pre-registered last-value gauge handle (e.g. net.queue_depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::uint64_t value) noexcept {
+    if (slot_ != nullptr) *slot_ = value;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return slot_ == nullptr ? 0 : *slot_;
+  }
+
+ private:
+  friend class Metrics;
+  explicit Gauge(std::uint64_t* slot) noexcept : slot_(slot) {}
+  std::uint64_t* slot_{nullptr};
+};
+
+/// Power-of-two bucketed distribution (bucket i counts values whose bit
+/// width is i, i.e. [2^(i-1), 2^i)), plus exact count/sum/min/max.  Cheap
+/// enough to record on protocol hot paths: one bit-width + five stores.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 33;  // values up to 2^32 exact
+
+  void record(std::uint64_t value) noexcept {
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+    ++buckets_[b < kBuckets ? b : kBuckets - 1];
+  }
+
+  void merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  void reset() noexcept {
+    count_ = sum_ = min_ = max_ = 0;
+    buckets_.fill(0);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+  /// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i <= 1 ? i : 1ull << (i - 1);
+  }
+
+  /// "count=5 min=1 max=9 mean=4.20" — report rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{0};
+  std::uint64_t max_{0};
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
 class Metrics {
  public:
   /// Adds delta to the named counter, creating it at zero if absent.
+  /// Compatibility shim: cold paths only — hot paths use counter().
   void add(const std::string& name, std::uint64_t delta = 1);
 
   /// Current value; zero when the counter was never touched.
   [[nodiscard]] std::uint64_t get(const std::string& name) const;
 
-  /// Resets every counter to zero but keeps the names registered.
+  /// Pre-registers (or finds) the named counter and returns a stable
+  /// handle.  Map nodes never move, so the handle survives any number of
+  /// later registrations and reset() calls.
+  [[nodiscard]] Counter counter(const std::string& name);
+
+  /// Pre-registers (or finds) the named gauge.
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] std::uint64_t gauge_value(const std::string& name) const;
+
+  /// Named histogram; the reference is stable for the Metrics' lifetime.
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Resets every counter/gauge/histogram to zero but keeps them
+  /// registered (handles stay valid).
   void reset();
 
   /// Stable (name, value) listing for reports.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> gauge_snapshot() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histogram_snapshot() const;
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace rgc::util

@@ -1,0 +1,320 @@
+// Tracing & telemetry layer tests: metric handles, histograms, the null
+// sink's zero-cost default, CDM lineage-tree invariants on a real
+// 3-process cycle detection, and exporter well-formedness.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/report.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+#include "workload/mesh.h"
+
+namespace rgc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric handles
+
+TEST(MetricsTest, CounterHandleSharesStorageWithStringApi) {
+  util::Metrics m;
+  util::Counter c = m.counter("x");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(m.get("x"), 5u);
+  m.add("x", 2);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(MetricsTest, HandlesSurviveLaterRegistrationsAndReset) {
+  util::Metrics m;
+  util::Counter first = m.counter("a");
+  // Force rebalancing pressure: many later registrations must not move the
+  // node the handle points into.
+  for (int i = 0; i < 100; ++i) m.counter("k" + std::to_string(i)).inc();
+  first.inc();
+  EXPECT_EQ(m.get("a"), 1u);
+  m.reset();
+  EXPECT_EQ(first.value(), 0u);
+  first.inc();
+  EXPECT_EQ(m.get("a"), 1u);
+}
+
+TEST(MetricsTest, GaugeStoresLastValue) {
+  util::Metrics m;
+  util::Gauge g = m.gauge("depth");
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(m.gauge_value("depth"), 3u);
+}
+
+TEST(MetricsTest, HistogramRecordsMomentsAndLog2Buckets) {
+  util::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 4.0);
+  EXPECT_EQ(h.buckets()[0], 1u);  // value 0 (bit width 0)
+  EXPECT_EQ(h.buckets()[1], 1u);  // value 1
+  EXPECT_EQ(h.buckets()[3], 1u);  // 5 in [4,8)
+  EXPECT_EQ(h.buckets()[7], 1u);  // 100 in [64,128)
+  EXPECT_EQ(util::Histogram::bucket_floor(3), 4u);
+  EXPECT_EQ(util::Histogram::bucket_floor(7), 64u);
+}
+
+TEST(MetricsTest, HistogramMergeCombinesDistributions) {
+  util::Histogram a;
+  util::Histogram b;
+  a.record(2);
+  a.record(9);
+  b.record(1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 9u);
+  util::Histogram empty;
+  a.merge(empty);  // merging an empty histogram must not disturb min
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace plumbing
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { util::Trace::instance().set_sink(&timeline_); }
+  void TearDown() override { util::Trace::instance().set_sink(nullptr); }
+  util::Timeline timeline_;
+};
+
+TEST(TraceNullSinkTest, DisabledByDefaultAndEmitsNothing) {
+  auto& trace = util::Trace::instance();
+  ASSERT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.instant("x.never", ProcessId{1}, 0, true), 0u);
+  {
+    TRACE_SPAN("x.span", ProcessId{1});
+  }
+  util::Timeline probe;
+  trace.set_sink(&probe);
+  EXPECT_EQ(probe.size(), 0u);  // nothing buffered anywhere while disabled
+  trace.set_sink(nullptr);
+}
+
+TEST_F(TraceFixture, SpanGuardRecordsDurationsAndArgs) {
+  util::Trace::set_sim_now(10);
+  {
+    util::SpanGuard span{"test.work", ProcessId{2}};
+    util::Trace::set_sim_now(14);
+    span.arg("items", 3);
+  }
+  util::Trace::set_sim_now(0);
+  ASSERT_EQ(timeline_.size(), 1u);
+  const util::TraceEvent& ev = timeline_.events()[0];
+  EXPECT_EQ(ev.type, util::TraceEventType::kSpan);
+  EXPECT_STREQ(ev.name, "test.work");
+  EXPECT_EQ(ev.sim_step, 10u);
+  EXPECT_EQ(ev.dur_steps, 4u);
+  EXPECT_EQ(ev.process, 2u);
+  ASSERT_EQ(ev.args.size(), 1u);
+  EXPECT_EQ(ev.args[0].key, "items");
+  EXPECT_EQ(ev.args[0].value, "3");
+}
+
+TEST_F(TraceFixture, InstantLineageIdsAreFreshAndReturned) {
+  auto& trace = util::Trace::instance();
+  const std::uint64_t a = trace.instant("t.a", ProcessId{1}, 0, true);
+  const std::uint64_t b = trace.instant("t.b", ProcessId{1}, a, true);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace.instant("t.c", ProcessId{1}, b, false), 0u);
+  ASSERT_EQ(timeline_.size(), 3u);
+  EXPECT_EQ(timeline_.events()[1].parent, a);
+  EXPECT_EQ(timeline_.events()[2].parent, b);
+}
+
+// ---------------------------------------------------------------------------
+// CDM lineage on a real detection
+
+/// Runs one replication-aware cycle detection on an N-process ring mesh
+/// with the sink attached; the mesh's garbage cycle spans every process.
+void run_detection(util::Timeline& timeline, std::size_t processes) {
+  core::ClusterConfig cfg;
+  core::Cluster cluster{cfg};
+  const workload::Mesh mesh =
+      workload::build_mesh(cluster, {processes, /*deps=*/6});
+  cluster.snapshot_all();
+  cluster.detect(mesh.head_process, mesh.head);
+  while (cluster.cycles_found().empty() && !cluster.network().idle()) {
+    cluster.step();
+  }
+  ASSERT_FALSE(cluster.cycles_found().empty()) << "detection did not converge";
+  cluster.run_until_quiescent();
+  ASSERT_GT(timeline.size(), 0u);
+}
+
+TEST_F(TraceFixture, DetectionEmitsWellFormedCdmLineageTree) {
+  run_detection(timeline_, 3);
+  if (HasFatalFailure()) return;
+  const auto& events = timeline_.events();
+
+  // Every event's lineage id is unique, and every causal parent refers to
+  // an event that *precedes* it in the buffer (causality in push order).
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].id != 0) {
+      EXPECT_FALSE(index_of.contains(events[i].id)) << "duplicate lineage id";
+      index_of[events[i].id] = i;
+    }
+  }
+  std::size_t causal_edges = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent == 0) continue;
+    ++causal_edges;
+    auto it = index_of.find(events[i].parent);
+    ASSERT_NE(it, index_of.end())
+        << events[i].name << " references unknown parent";
+    EXPECT_LT(it->second, i) << events[i].name << " precedes its parent";
+  }
+  EXPECT_GT(causal_edges, 0u);
+
+  // The detection must leave a verdict whose chain walks back through CDM
+  // hops to the detection's root, crossing at least two processes.
+  const util::TraceEvent* detected = nullptr;
+  for (const auto& ev : events) {
+    if (std::string_view{ev.name} == "cycle.detected") detected = &ev;
+  }
+  ASSERT_NE(detected, nullptr);
+  ASSERT_NE(detected->parent, 0u) << "verdict must name the closing CDM";
+
+  std::set<std::uint32_t> chain_procs{detected->process};
+  std::set<std::string> chain_names;
+  const util::TraceEvent* cur = detected;
+  std::size_t hops = 0;
+  while (cur->parent != 0) {
+    ASSERT_LT(++hops, 10000u) << "lineage chain does not terminate";
+    auto it = index_of.find(cur->parent);
+    ASSERT_NE(it, index_of.end());
+    cur = &events[it->second];
+    chain_procs.insert(cur->process);
+    chain_names.insert(cur->name);
+  }
+  EXPECT_STREQ(cur->name, "cdm.start") << "chain must root at the detection";
+  EXPECT_GE(chain_procs.size(), 2u) << "lineage must cross processes";
+  // The ring forces at least one remote hop, so a send and a receive must
+  // both appear on the winning track.
+  EXPECT_TRUE(chain_names.contains("cdm.recv"));
+  EXPECT_TRUE(chain_names.contains("cdm.send") ||
+              chain_names.contains("cdm.forward"));
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+/// Validates JSON nesting outside string literals; returns true when every
+/// brace/bracket closes and the text ends at depth zero.
+bool balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(TraceFixture, JsonlExportIsOneValidObjectPerLine) {
+  run_detection(timeline_, 3);
+  if (HasFatalFailure()) return;
+  std::ostringstream os;
+  timeline_.write_jsonl(os);
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_TRUE(balanced_json(line)) << line;
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+  }
+  EXPECT_EQ(count, timeline_.size());
+}
+
+TEST_F(TraceFixture, ChromeTraceExportIsWellFormedAndCarriesLineage) {
+  run_detection(timeline_, 3);
+  if (HasFatalFailure()) return;
+  std::ostringstream os;
+  timeline_.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_TRUE(balanced_json(text));
+  // Slices, flow arrows (the lineage rendering), and track names.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("cdm.start"), std::string::npos);
+  EXPECT_NE(text.find("cycle.detected"), std::string::npos);
+}
+
+TEST_F(TraceFixture, FullGcTimelineHasSpansAndReportJsonIsBalanced) {
+  core::ClusterConfig cfg;
+  core::Cluster cluster{cfg};
+  workload::build_mesh(cluster, {3, 4});
+  cluster.run_full_gc();
+  EXPECT_EQ(cluster.total_objects(), 0u);
+
+  bool lgc_span = false;
+  bool snapshot_span = false;
+  for (const auto& ev : timeline_.events()) {
+    if (ev.type != util::TraceEventType::kSpan) continue;
+    const std::string_view name{ev.name};
+    lgc_span = lgc_span || name == "lgc.collect";
+    snapshot_span = snapshot_span || name == "cycle.snapshot";
+  }
+  EXPECT_TRUE(lgc_span);
+  EXPECT_TRUE(snapshot_span);
+
+  const core::ClusterReport report = core::make_report(cluster);
+  const std::string json = report.to_json();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("cdm.hops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgc
