@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and collects every datapoint as JSONL.
+#
+#   scripts/bench_all.sh                      # all benches -> bench_results.jsonl
+#   scripts/bench_all.sh out.jsonl            # all benches -> out.jsonl
+#   scripts/bench_all.sh out.jsonl lgc_hot    # only binaries matching the regex
+#
+# Each bench binary appends one JSON object per datapoint to the output
+# file via the RGC_BENCH_JSONL hook (bench/bench_util.h).  The committed
+# BENCH_seed.json was captured with
+#   scripts/bench_all.sh BENCH_seed.json lgc_hotpath
+# *before* the mark-epoch/parallel-phase optimization landed, so the perf
+# trajectory has a fixed reference point (see docs/PERFORMANCE.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench_results.jsonl}"
+FILTER="${2:-.}"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+BENCHES=(
+  lgc_hotpath
+  fig6_lgc_total_overhead
+  fig7_lgc_unitary_cost
+  fig8_cdm_per_step
+  fig9_cdm_totals
+  table2_steps_to_detection
+  ablation_policies
+  ablation_candidates
+  ablation_race_barrier
+)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+
+: > "$OUT"
+for b in "${BENCHES[@]}"; do
+  [[ "$b" =~ $FILTER ]] || continue
+  echo "== $b =="
+  RGC_BENCH_JSONL="$OUT" "./build/bench/$b"
+done
+echo "wrote $(wc -l < "$OUT") datapoints to $OUT"

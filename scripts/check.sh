@@ -26,6 +26,15 @@ run_tree build
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== sanitizer build + tests (address,undefined) =="
   run_tree build-asan -DRGC_SANITIZE=address,undefined
+
+  # ThreadSanitizer pass over the parallel GC phases: build the TSan tree
+  # and run the determinism suite, which drives the worker pool with
+  # threads=8 (full ctest under TSan is slow; the threaded paths all live
+  # behind Cluster::collect_round/snapshot_all, which this suite covers).
+  echo "== thread sanitizer build + determinism tests =="
+  cmake -B build-tsan -S . -DRGC_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target determinism_test
+  ./build-tsan/tests/determinism_test
 fi
 
 echo "OK"

@@ -112,7 +112,23 @@ std::uint64_t Cluster::run_until_quiescent(std::uint64_t max_steps) {
     step();
     ++steps;
   }
+  if (!net_.idle()) {
+    // Giving up with traffic still queued means protocol rounds (ADGC
+    // hand-shakes, CDM tracks) were cut short — callers used to get no
+    // signal at all.  Count it and say so.
+    net_.metrics().add("cluster.quiescence_timeout");
+    RGC_WARN("cluster: run_until_quiescent gave up after ", max_steps,
+             " steps with ", net_.in_flight(), " messages still in flight");
+  }
   return steps;
+}
+
+util::ThreadPool& Cluster::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        config_.threads > 0 ? config_.threads : 1);
+  }
+  return *pool_;
 }
 
 gc::LgcResult Cluster::collect(ProcessId id) {
@@ -135,17 +151,99 @@ gc::LgcResult Cluster::collect(ProcessId id) {
   return result;
 }
 
-void Cluster::collect_all() {
-  for (auto& [pid, node] : nodes_) collect(pid);
+std::uint64_t Cluster::collect_round() {
+  // Equivalent to collect() on every process in pid order: each process's
+  // state is private, and cross-process effects travel only through
+  // messages queued on the network (delivered at a later step()), so
+  // reordering *read-only* work across processes cannot change any
+  // outcome.  The phases that mutate a process, share the finalizer, emit
+  // log/trace output, or send messages run serially in pid order — which
+  // makes results, metrics, traffic, and traces identical for any thread
+  // count.
+  std::vector<ProcessId> pids;
+  std::vector<Node*> nodes;
+  pids.reserve(nodes_.size());
+  nodes.reserve(nodes_.size());
+  for (auto& [pid, node] : nodes_) {
+    pids.push_back(pid);
+    nodes.push_back(&node);
+  }
+  const std::size_t n = nodes.size();
+
+  gc::LgcConfig cfg;
+  cfg.finalizer = &finalizer_;
+
+  // Phase 1 — trace (read-only, parallel across processes).
+  std::vector<gc::LgcMark> marks(n);
+  pool().parallel_for(n, [&](std::size_t i) {
+    marks[i] = gc::Lgc::mark(*nodes[i]->process, cfg);
+  });
+
+  // Phase 2 — sweep + finalize (mutating, shared finalizer: serial).
+  std::vector<gc::LgcResult> results(n);
+  std::uint64_t reclaimed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    util::ScopedProcess ctx{pids[i]};
+    results[i] = gc::Lgc::apply(*nodes[i]->process, marks[i], cfg);
+    nodes[i]->distance->prune(*nodes[i]->process);
+    reclaimed += results[i].reclaimed.size();
+  }
+
+  // Phase 3 — post-sweep summaries for the distance heuristic (read-only,
+  // parallel; this is what made the serial round O(heap) per process even
+  // when nothing was garbage).
+  std::vector<gc::ProcessSummary> summaries(n);
+  pool().parallel_for(n, [&](std::size_t i) {
+    summaries[i] = gc::summarize(*nodes[i]->process);
+  });
+
+  // Phase 4 — heuristic digests + ADGC protocol messages (sends traffic:
+  // serial, pid order — exactly the send order of the serial path).
+  for (std::size_t i = 0; i < n; ++i) {
+    util::ScopedProcess ctx{pids[i]};
+    rm::Process& proc = *nodes[i]->process;
+    const auto announcements =
+        nodes[i]->distance->after_collection(proc, results[i], &summaries[i]);
+    nodes[i]->suspicion->after_collection(proc, results[i]);
+    gc::Adgc::after_collection(proc, results[i], &announcements);
+  }
+  return reclaimed;
 }
+
+void Cluster::collect_all() { collect_round(); }
 
 void Cluster::snapshot_all() {
   TRACE_SPAN("cluster.snapshot_all");
+  std::vector<ProcessId> pids;
+  std::vector<Node*> nodes;
+  pids.reserve(nodes_.size());
+  nodes.reserve(nodes_.size());
   for (auto& [pid, node] : nodes_) {
-    util::ScopedProcess ctx{pid};
-    node.detector->take_snapshot();
+    pids.push_back(pid);
+    nodes.push_back(&node);
+  }
+  const std::size_t n = nodes.size();
+
+  // Summarize concurrently (read-only per process), install serially so
+  // detector bookkeeping, metrics, and trace spans land in pid order.
+  std::vector<gc::ProcessSummary> summaries(n);
+  pool().parallel_for(n, [&](std::size_t i) {
+    summaries[i] = gc::summarize(*nodes[i]->process);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    util::ScopedProcess ctx{pids[i]};
+    {
+      TRACE_SPAN("cycle.snapshot", pids[i]);
+      if (config_.mode == DetectorMode::kBaseline) {
+        // The baseline detector keeps its own copy of the same snapshot.
+        nodes[i]->detector->install_snapshot(summaries[i]);
+      } else {
+        nodes[i]->detector->install_snapshot(std::move(summaries[i]));
+      }
+    }
     if (config_.mode == DetectorMode::kBaseline) {
-      node.baseline->take_snapshot();
+      TRACE_SPAN("baseline.snapshot", pids[i]);
+      nodes[i]->baseline->install_snapshot(std::move(summaries[i]));
     }
   }
 }
@@ -180,10 +278,7 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
       util::SpanGuard acyclic{"gc.acyclic_phase"};
       for (std::size_t inner = 0; inner < 4 * nodes_.size() + 8; ++inner) {
         const std::uint64_t signal_before = unlock_signal();
-        std::uint64_t reclaimed = 0;
-        for (auto& [pid, node] : nodes_) {
-          reclaimed += collect(pid).reclaimed.size();
-        }
+        const std::uint64_t reclaimed = collect_round();
         run_until_quiescent();
         reclaimed_this_round += reclaimed;
         if (reclaimed == 0 && unlock_signal() == signal_before) break;

@@ -35,6 +35,7 @@
 #include "net/network.h"
 #include "rm/process.h"
 #include "util/ids.h"
+#include "util/thread_pool.h"
 
 namespace rgc::core {
 
@@ -70,6 +71,12 @@ struct ClusterConfig {
   CandidatePolicy candidates{CandidatePolicy::kExhaustive};
   /// Threshold for the heuristic policies (distance / suspicion age).
   std::uint32_t candidate_threshold{3};
+  /// Worker threads for the read-only GC phases (LGC marking, snapshot
+  /// summarization) in collect_all/snapshot_all/run_full_gc.  Results are
+  /// bit-for-bit identical for any value: the mutating phases stay serial
+  /// in pid order, so network traffic, metrics, and traces don't change.
+  /// 1 (default) keeps everything on the calling thread.
+  std::size_t threads{1};
 };
 
 class Cluster {
@@ -113,10 +120,14 @@ class Cluster {
   // ---- Garbage collection -------------------------------------------------
   /// One local collection + acyclic-protocol round on one process.
   gc::LgcResult collect(ProcessId id);
-  /// collect() on every process (in id order).
+  /// One collection round over every process, equivalent to collect() on
+  /// each in id order.  With config.threads > 1 the trace phase runs
+  /// concurrently across processes; sweeps and protocol messages are
+  /// applied serially in pid order, so results are identical to threads=1.
   void collect_all();
   /// Snapshot + summarize every process (no coordination — each snapshot
   /// is independent; this bulk helper is a convenience, not a barrier).
+  /// Summarization runs on the worker pool when config.threads > 1.
   void snapshot_all();
   /// Starts a detection with `candidate` (owned by `at`) as suspect.
   std::optional<std::uint64_t> detect(ProcessId at, ObjectId candidate);
@@ -163,6 +174,14 @@ class Cluster {
   [[nodiscard]] std::set<ObjectId> pick_suspects(const Node& node,
                                                  const gc::ProcessSummary& s);
 
+  /// The phased collection round behind collect_all()/run_full_gc():
+  /// parallel mark, serial apply, parallel summarize, serial protocol
+  /// digest.  Returns the number of objects reclaimed.
+  std::uint64_t collect_round();
+
+  /// Worker pool for the read-only phases, created on first use.
+  util::ThreadPool& pool();
+
   void dispatch(ProcessId pid, const net::Envelope& env);
   void handle_cycle_found(ProcessId at, const gc::Cdm& cdm);
 
@@ -174,6 +193,7 @@ class Cluster {
   std::uint32_t next_process_{0};
   std::vector<gc::Cdm> cycles_found_;
   gc::Finalizer finalizer_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace rgc::core

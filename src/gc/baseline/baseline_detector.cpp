@@ -11,7 +11,11 @@ BaselineDetector::BaselineDetector(rm::Process& process) : process_(process) {}
 
 void BaselineDetector::take_snapshot() {
   TRACE_SPAN("baseline.snapshot", process_.id());
-  summary_ = summarize(process_);
+  install_snapshot(summarize(process_));
+}
+
+void BaselineDetector::install_snapshot(ProcessSummary summary) {
+  summary_ = std::move(summary);
   seen_entries_.clear();
   process_.metrics().add("baseline.snapshots");
 }

@@ -39,6 +39,8 @@ class BaselineDetector {
   explicit BaselineDetector(rm::Process& process);
 
   void take_snapshot();
+  /// Installs a summary computed elsewhere (see CycleDetector).
+  void install_snapshot(ProcessSummary summary);
   [[nodiscard]] bool has_snapshot() const noexcept { return summary_.has_value(); }
   [[nodiscard]] const ProcessSummary& summary() const { return *summary_; }
 

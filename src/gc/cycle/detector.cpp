@@ -43,7 +43,11 @@ CycleDetector::CycleDetector(rm::Process& process, DetectorConfig config)
 
 void CycleDetector::take_snapshot() {
   TRACE_SPAN("cycle.snapshot", process_.id());
-  summary_ = summarize(process_);
+  install_snapshot(summarize(process_));
+}
+
+void CycleDetector::install_snapshot(ProcessSummary summary) {
+  summary_ = std::move(summary);
   seen_entries_.clear();
   counters_.snapshots.inc();
 }

@@ -72,6 +72,12 @@ class CycleDetector {
   /// process — no coordination.
   void take_snapshot();
 
+  /// Installs a summary computed elsewhere (the cluster's parallel snapshot
+  /// phase summarizes every process concurrently, then installs serially).
+  /// Same bookkeeping as take_snapshot; the summary must be of this
+  /// process's current state.
+  void install_snapshot(ProcessSummary summary);
+
   /// Adopts a previously-captured (possibly deserialized, possibly
   /// summarized off-line) snapshot instead of taking one now — the
   /// paper's lazy/off-line summarization path (§4).  Must belong to this

@@ -41,6 +41,8 @@
 
 namespace rgc::gc {
 
+struct ProcessSummary;
+
 /// Distances are saturating small integers; kInfiniteDistance means "no
 /// known root path".
 inline constexpr std::uint32_t kInfiniteDistance = 0xffffffffu;
@@ -60,8 +62,12 @@ class DistanceHeuristic {
   /// the reachability classification and ages prop-only replicas.
   /// Returns the per-anchor estimates to enclose in the next NewSetStubs
   /// round (anchor -> distance), keyed by peer process.
+  /// `precomputed` is a post-sweep summary of `process` to use instead of
+  /// summarizing here; the cluster passes one computed during its parallel
+  /// phase so this (serial) digest stays cheap.
   [[nodiscard]] std::map<ProcessId, std::map<ObjectId, std::uint32_t>>
-  after_collection(const rm::Process& process, const LgcResult& result);
+  after_collection(const rm::Process& process, const LgcResult& result,
+                   const ProcessSummary* precomputed = nullptr);
 
   /// Applies the estimates a peer announced for our scions.
   void apply_remote_estimates(

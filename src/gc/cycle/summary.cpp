@@ -1,10 +1,9 @@
 #include "gc/cycle/summary.h"
 
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "gc/lgc/lgc.h"
-#include "util/trace.h"
 
 namespace rgc::gc {
 
@@ -25,20 +24,30 @@ struct ForwardReach {
   util::FlatSet<ObjectId> replicas;
   /// Every local object the trace crossed (used to invert the relation
   /// into the ScionsTo/ReplicasTo lists).
-  std::set<ObjectId> objects;
+  util::FlatSet<ObjectId> objects;
 };
+
+/// Snapshots the objects/stubs touched by the current mark epoch out of the
+/// process's scratch (each object is enqueued exactly once per epoch when a
+/// single trace family runs, so the queue *is* the visited set).
+util::FlatSet<ObjectId> touched_objects(const rm::MarkScratch& scratch) {
+  std::vector<ObjectId> ids;
+  ids.reserve(scratch.queue.size());
+  for (const rm::Object* obj : scratch.queue) ids.push_back(obj->id);
+  return util::FlatSet<ObjectId>{std::move(ids)};
+}
 
 ForwardReach forward_reach(const rm::Process& process, ObjectId seed,
                            const std::map<ObjectId, ReplicaSummary>& replicas,
                            bool exclude_self) {
-  std::map<ObjectId, std::uint8_t> object_mask;
-  std::map<rm::StubKey, std::uint8_t> stub_mask;
-  Lgc::trace(process, {seed}, 1, object_mask, stub_mask);
+  const rm::MarkScratch& scratch = process.begin_mark_epoch();
+  Lgc::seed(process, seed, 1);
+  Lgc::drain(process, 1);
 
   ForwardReach out;
-  for (const auto& [key, mask] : stub_mask) out.stubs.insert(key);
-  for (const auto& [obj, mask] : object_mask) {
-    out.objects.insert(obj);
+  out.objects = touched_objects(scratch);
+  out.stubs = util::FlatSet<rm::StubKey>{scratch.stubs};
+  for (ObjectId obj : out.objects) {
     if (exclude_self && obj == seed) continue;
     if (replicas.contains(obj)) out.replicas.insert(obj);
   }
@@ -50,29 +59,36 @@ ForwardReach forward_reach(const rm::Process& process, ObjectId seed,
 bool leads_to_anchor(const rm::Process& process, const ForwardReach& fr,
                      ObjectId anchor) {
   if (process.has_replica(anchor)) return fr.objects.contains(anchor);
-  for (const rm::StubKey& key : process.stubs_for(anchor)) {
-    if (fr.stubs.contains(key)) return true;
-  }
-  return false;
+  bool found = false;
+  process.for_each_stub_for(anchor, [&](const rm::Stub& stub) {
+    found = found || fr.stubs.contains(stub.key);
+  });
+  return found;
 }
 
 }  // namespace
 
+// NOTE: no TRACE_SPAN here — summarize() runs on worker threads during the
+// cluster's parallel snapshot phase and the trace sink is a global; the
+// serial install path (CycleDetector::take_snapshot / install_snapshot)
+// records the span instead.
 ProcessSummary summarize(const rm::Process& process) {
-  TRACE_SPAN("cycle.summarize", process.id());
   ProcessSummary s;
   s.process = process.id();
   s.taken_at = process.network().now();
 
   // Root reachability (mutator roots + transient invocation roots).
-  std::map<ObjectId, std::uint8_t> root_objects;
-  std::map<rm::StubKey, std::uint8_t> root_stubs;
+  util::FlatSet<ObjectId> root_objects;
+  util::FlatSet<rm::StubKey> root_stubs;
   {
-    std::vector<ObjectId> roots(process.heap().roots().begin(),
-                                process.heap().roots().end());
-    for (const auto& [obj, ttl] : process.transient_roots())
-      roots.push_back(obj);
-    Lgc::trace(process, roots, 1, root_objects, root_stubs);
+    const rm::MarkScratch& scratch = process.begin_mark_epoch();
+    for (ObjectId root : process.heap().roots()) Lgc::seed(process, root, 1);
+    for (const auto& [obj, ttl] : process.transient_roots()) {
+      Lgc::seed(process, obj, 1);
+    }
+    Lgc::drain(process, 1);
+    root_objects = touched_objects(scratch);
+    root_stubs = util::FlatSet<rm::StubKey>{scratch.stubs};
   }
 
   // Replicated objects: identity, counters, local root reachability.

@@ -1,137 +1,174 @@
 #include "gc/lgc/lgc.h"
 
-#include <deque>
+#include <algorithm>
 
 #include "util/log.h"
 #include "util/trace.h"
 
 namespace rgc::gc {
 
-void Lgc::trace(const rm::Process& process, const std::vector<ObjectId>& seeds,
-                std::uint8_t bit, std::map<ObjectId, std::uint8_t>& object_mask,
-                std::map<rm::StubKey, std::uint8_t>& stub_mask,
-                std::uint64_t* traced) {
-  std::deque<ObjectId> worklist;
-  for (ObjectId seed : seeds) {
-    if (process.has_replica(seed)) {
-      if ((object_mask[seed] & bit) == 0) {
-        object_mask[seed] |= bit;
-        worklist.push_back(seed);
-      }
-    } else {
-      // The seed designates a remote object: keep its stub chain alive.
-      for (const rm::StubKey& key : process.stubs_for(seed)) {
-        stub_mask[key] |= bit;
-      }
-    }
-  }
+namespace {
 
-  while (!worklist.empty()) {
-    const ObjectId current = worklist.front();
-    worklist.pop_front();
+/// Resolves `id` to its local replica through the dense heap index when one
+/// was built for this epoch, falling back to the heap's tree otherwise.
+const rm::Object* find_object(const rm::Process& process,
+                              const rm::MarkScratch& scratch, ObjectId id) {
+  if (scratch.index.empty()) return process.heap().find(id);
+  if (scratch.index_dense) {
+    // Contiguous ids: a direct offset (wrap-around makes below-base huge).
+    const std::uint64_t off = raw(id) - raw(scratch.index.front().first);
+    return off < scratch.index.size() ? scratch.index[off].second : nullptr;
+  }
+  auto it = std::lower_bound(
+      scratch.index.begin(), scratch.index.end(), id,
+      [](const auto& entry, ObjectId key) { return entry.first < key; });
+  return it != scratch.index.end() && it->first == id ? it->second : nullptr;
+}
+
+/// Marks a stub and records its key in the scratch on first touch this
+/// epoch, so summarization can read back the touched set without scanning
+/// the whole stub table.
+void mark_stub(const rm::Stub& stub, rm::MarkScratch& scratch,
+               std::uint8_t bit) {
+  if (stub.marks(scratch.epoch) == 0) scratch.stubs.push_back(stub.key);
+  stub.mark(scratch.epoch, bit);
+}
+
+/// Marks the stub chain a reference resolves through: the exact
+/// {target, via} stub when it exists, otherwise every stub designating the
+/// target (defensive fallback, mirrors reference binding in rm).
+void mark_stub_chain(const rm::Process& process, rm::MarkScratch& scratch,
+                     ObjectId target, ProcessId via, std::uint8_t bit) {
+  if (const rm::Stub* exact = process.find_stub(rm::StubKey{target, via})) {
+    mark_stub(*exact, scratch, bit);
+    return;
+  }
+  process.for_each_stub_for(
+      target, [&](const rm::Stub& stub) { mark_stub(stub, scratch, bit); });
+}
+
+}  // namespace
+
+void Lgc::seed(const rm::Process& process, ObjectId id, std::uint8_t bit) {
+  rm::MarkScratch& scratch = process.mark_scratch();
+  if (const rm::Object* obj = find_object(process, scratch, id)) {
+    if (obj->mark(scratch.epoch, bit)) scratch.queue.push_back(obj);
+  } else {
+    // The seed designates a remote object: keep its stub chain alive.
+    process.for_each_stub_for(
+        id, [&](const rm::Stub& stub) { mark_stub(stub, scratch, bit); });
+  }
+}
+
+void Lgc::drain(const rm::Process& process, std::uint8_t bit,
+                std::uint64_t* traced) {
+  rm::MarkScratch& scratch = process.mark_scratch();
+  while (scratch.head < scratch.queue.size()) {
+    const rm::Object* obj = scratch.queue[scratch.head++];
     if (traced != nullptr) ++*traced;
-    const rm::Object* obj = process.heap().find(current);
-    if (obj == nullptr) continue;
     for (const rm::Ref& ref : obj->refs) {
       if (ref.is_local()) {
-        if (process.has_replica(ref.target)) {
-          auto& mask = object_mask[ref.target];
-          if ((mask & bit) == 0) {
-            mask |= bit;
-            worklist.push_back(ref.target);
-          }
+        if (const rm::Object* target = find_object(process, scratch, ref.target)) {
+          if (target->mark(scratch.epoch, bit)) scratch.queue.push_back(target);
         } else {
           // Local binding whose replica vanished: resolve through any
           // surviving chain (defensive; cannot happen in well-formed runs).
-          for (const rm::StubKey& key : process.stubs_for(ref.target)) {
-            stub_mask[key] |= bit;
-          }
+          process.for_each_stub_for(ref.target, [&](const rm::Stub& stub) {
+            mark_stub(stub, scratch, bit);
+          });
         }
       } else {
         // Remote binding: the reference designates the chain, not a local
         // replica that may happen to exist — SSP semantics (object.h).
-        const rm::StubKey key{ref.target, ref.via};
-        if (process.stubs().contains(key)) {
-          stub_mask[key] |= bit;
-        } else {
-          for (const rm::StubKey& other : process.stubs_for(ref.target)) {
-            stub_mask[other] |= bit;
-          }
-        }
+        mark_stub_chain(process, scratch, ref.target, ref.via, bit);
       }
     }
   }
 }
 
-LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
-  util::SpanGuard span{"lgc.collect", process.id()};
-  LgcResult result;
+void Lgc::trace(const rm::Process& process, std::span<const ObjectId> seeds,
+                std::uint8_t bit, std::uint64_t* traced) {
+  for (ObjectId id : seeds) seed(process, id, bit);
+  drain(process, bit, traced);
+}
+
+LgcMark Lgc::mark(const rm::Process& process, const LgcConfig& config) {
+  rm::MarkScratch& scratch = process.begin_mark_epoch();
+  process.build_mark_index();  // whole-heap trace: the index pays for itself
+  LgcMark marked{scratch.epoch, 0};
 
   // Phase 1 — mutator roots (including transient invocation roots).
-  std::vector<ObjectId> roots(process.heap().roots().begin(),
-                              process.heap().roots().end());
-  for (const auto& [obj, ttl] : process.transient_roots()) roots.push_back(obj);
-  trace(process, roots, kReachRoot, result.object_reach, result.stub_reach,
-        &result.traced);
+  for (ObjectId root : process.heap().roots()) seed(process, root, kReachRoot);
+  for (const auto& [obj, ttl] : process.transient_roots()) {
+    seed(process, obj, kReachRoot);
+  }
+  drain(process, kReachRoot, &marked.traced);
 
   // Phase 2 — scions: objects referenced from other processes stay alive.
-  std::vector<ObjectId> scion_anchors;
-  scion_anchors.reserve(process.scions().size());
   for (const auto& [key, scion] : process.scions()) {
-    scion_anchors.push_back(key.anchor);
+    seed(process, key.anchor, kReachScion);
   }
-  trace(process, scion_anchors, kReachScion, result.object_reach,
-        result.stub_reach, &result.traced);
+  drain(process, kReachScion, &marked.traced);
 
   if (config.union_rule) {
     // Phase 3 — Union Rule: replicas propagated into this process ...
-    std::vector<ObjectId> in_seeds;
-    in_seeds.reserve(process.in_props().size());
-    for (const auto& e : process.in_props()) in_seeds.push_back(e.object);
-    trace(process, in_seeds, kReachInProp, result.object_reach,
-          result.stub_reach, &result.traced);
+    for (const auto& e : process.in_props()) {
+      seed(process, e.object, kReachInProp);
+    }
+    drain(process, kReachInProp, &marked.traced);
 
     // ... and replicas propagated out of it are both preserved.
-    std::vector<ObjectId> out_seeds;
-    out_seeds.reserve(process.out_props().size());
-    for (const auto& e : process.out_props()) out_seeds.push_back(e.object);
-    trace(process, out_seeds, kReachOutProp, result.object_reach,
-          result.stub_reach, &result.traced);
+    for (const auto& e : process.out_props()) {
+      seed(process, e.object, kReachOutProp);
+    }
+    drain(process, kReachOutProp, &marked.traced);
   }
+  return marked;
+}
 
-  // Sweep.  Finalizable unreachable objects run the configured strategy and
-  // may resurrect (they stay in the heap, to be finalized again next time —
-  // the Figure 6/7 worst case).
-  std::vector<ObjectId> doomed;
-  for (auto& [id, obj] : process.heap().objects()) {
-    if (result.object_reach.contains(id)) continue;
+LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
+                     const LgcConfig& config) {
+  util::SpanGuard span{"lgc.collect", process.id()};
+  const std::uint64_t epoch = marked.epoch;
+  LgcResult result;
+  result.traced = marked.traced;
+
+  // Sweep: one in-order heap pass reads the masks (building object_reach in
+  // key order) and collects the garbage.  Finalizable unreachable objects
+  // run the configured strategy and may resurrect (they stay in the heap,
+  // to be finalized again next time — the Figure 6/7 worst case).
+  auto& objects = process.heap().objects();
+  result.object_reach.reserve(objects.size());
+  for (auto it = objects.begin(); it != objects.end();) {
+    rm::Object& obj = it->second;
+    if (const std::uint8_t mask = obj.marks(epoch)) {
+      result.object_reach.append(it->first, mask);
+      ++it;
+      continue;
+    }
     if (obj.finalizable && config.finalizer != nullptr &&
         config.finalizer->strategy() != FinalizeStrategy::kNone) {
       obj.finalizable = false;
       if (config.finalizer->finalize(obj)) {
         ++result.resurrected;
+        ++it;
         continue;
       }
     }
-    doomed.push_back(id);
-  }
-  for (ObjectId id : doomed) {
-    process.heap().erase(id);
-    result.reclaimed.push_back(id);
+    result.reclaimed.push_back(it->first);
+    it = objects.erase(it);
   }
 
   // New stub set (§2.2.2): a stub survives only if some trace reached it.
-  for (const auto& [key, mask] : result.stub_reach) {
-    if (mask != 0) result.live_stubs.insert(key);
-  }
-  if (config.drop_dead_stubs) {
-    auto& stubs = process.stubs();
-    for (auto it = stubs.begin(); it != stubs.end();) {
-      if (result.live_stubs.contains(it->first)) {
-        ++it;
-      } else {
-        it = stubs.erase(it);
-      }
+  result.stub_reach.reserve(process.stubs().size());
+  for (auto it = process.stubs().begin(); it != process.stubs().end();) {
+    const rm::Stub& stub = it->second;
+    ++it;  // advance before a potential erase invalidates the entry
+    if (const std::uint8_t mask = stub.marks(epoch)) {
+      result.stub_reach.append(stub.key, mask);
+      result.live_stubs.insert(stub.key);
+    } else if (config.drop_dead_stubs) {
+      process.erase_stub(stub.key);
     }
   }
 
@@ -147,6 +184,10 @@ LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
             result.reclaimed.size(), " objects, ", result.live_stubs.size(),
             " live stubs");
   return result;
+}
+
+LgcResult Lgc::collect(rm::Process& process, const LgcConfig& config) {
+  return apply(process, mark(process, config), config);
 }
 
 }  // namespace rgc::gc

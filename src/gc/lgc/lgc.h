@@ -14,16 +14,29 @@
 // decisions on exactly this classification — and regenerates the stub set
 // ("for each outgoing inter-process reference it creates a stub in the new
 // set of stubs").
+//
+// The collection is split into two halves so the cluster can overlap the
+// expensive part across processes (docs/PERFORMANCE.md):
+//  - mark()  — the four trace families.  Logically read-only: reachability
+//    lands in the intrusive epoch-validated masks on Object/Stub
+//    (rm/object.h) and the process-owned scratch worklist (rm::MarkScratch),
+//    so it allocates nothing at steady state and is safe to run for
+//    different processes on different threads concurrently.
+//  - apply() — sweep, finalization, stub-set regeneration, metrics, and
+//    tracing.  Mutates the process and touches shared sinks (Trace,
+//    Finalizer), so the cluster runs it serially in pid order.
+// collect() == mark() + apply() and is what single-process callers use.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "gc/lgc/finalizer.h"
 #include "rm/process.h"
 #include "rm/tables.h"
+#include "util/flat_map.h"
+#include "util/flat_set.h"
 #include "util/ids.h"
 
 namespace rgc::gc {
@@ -37,18 +50,25 @@ enum ReachBit : std::uint8_t {
 };
 
 struct LgcResult {
-  /// Reachability class of every surviving object.
-  std::map<ObjectId, std::uint8_t> object_reach;
-  /// Reachability class of every stub (a stub unreachable by all four
-  /// families is dead and was dropped from the process's stub table).
-  std::map<rm::StubKey, std::uint8_t> stub_reach;
+  /// Reachability class of every surviving object (key-ordered).
+  util::FlatMap<ObjectId, std::uint8_t> object_reach;
+  /// Reachability class of every reached stub (a stub unreachable by all
+  /// four families is dead and was dropped from the process's stub table).
+  util::FlatMap<rm::StubKey, std::uint8_t> stub_reach;
   /// The new stub set after the collection (§2.2.2).
-  std::set<rm::StubKey> live_stubs;
+  util::FlatSet<rm::StubKey> live_stubs;
   /// Objects swept by this collection.
   std::vector<ObjectId> reclaimed;
   /// Objects whose finalizer resurrected them (Figure 6/7 experiment).
   std::uint64_t resurrected{0};
   /// Objects visited across all traces (cost proxy).
+  std::uint64_t traced{0};
+};
+
+/// Token handed from mark() to apply(): identifies the mark epoch whose
+/// masks encode the reachability classification.
+struct LgcMark {
+  std::uint64_t epoch{0};
   std::uint64_t traced{0};
 };
 
@@ -71,15 +91,36 @@ class Lgc {
   /// Runs one stop-the-world local collection on `process`.
   static LgcResult collect(rm::Process& process, const LgcConfig& config = {});
 
-  /// Shared tracing helper (also used by snapshot summarization): BFS over
-  /// the local heap from `seeds`, OR-ing `bit` into the masks of every
-  /// object and stub reached.  A reference to a non-local object marks all
-  /// stubs designating it; a seed with no local replica marks its stubs.
-  static void trace(const rm::Process& process,
-                    const std::vector<ObjectId>& seeds, std::uint8_t bit,
-                    std::map<ObjectId, std::uint8_t>& object_mask,
-                    std::map<rm::StubKey, std::uint8_t>& stub_mask,
+  /// Trace half: runs the four trace families in a fresh mark epoch.
+  /// Thread-safe across *different* processes (per-process state only; no
+  /// logging, tracing, or metrics).
+  static LgcMark mark(const rm::Process& process, const LgcConfig& config = {});
+
+  /// Mutating half: sweeps the heap and regenerates the stub set from the
+  /// masks of `marked.epoch`, records metrics and the collection span.
+  /// Must run on the thread that owns the simulation (serial).
+  static LgcResult apply(rm::Process& process, const LgcMark& marked,
+                         const LgcConfig& config = {});
+
+  // ---- Tracing primitives (shared with snapshot summarization) ---------
+  //
+  // All three operate on the process's current mark epoch (established by
+  // rm::Process::begin_mark_epoch) and its scratch worklist.
+
+  /// Marks `id` with `bit` and enqueues it; a seed with no local replica
+  /// marks its stubs instead (keeps the chain alive).
+  static void seed(const rm::Process& process, ObjectId id, std::uint8_t bit);
+
+  /// BFS from every enqueued-but-unprocessed object, OR-ing `bit` into the
+  /// masks of every object and stub reached.  A reference to a non-local
+  /// object marks the stubs designating it.  Bumps *traced once per visited
+  /// object when non-null.
+  static void drain(const rm::Process& process, std::uint8_t bit,
                     std::uint64_t* traced = nullptr);
+
+  /// seed() every element, then drain().
+  static void trace(const rm::Process& process, std::span<const ObjectId> seeds,
+                    std::uint8_t bit, std::uint64_t* traced = nullptr);
 };
 
 }  // namespace rgc::gc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/log.h"
 #include "util/trace.h"
@@ -24,10 +25,11 @@ void Network::attach(ProcessId process, Handler handler) {
 }
 
 Network::KindCounters& Network::counters_for(const char* kind) {
-  auto it = kind_counters_.find(kind);
+  auto it = kind_counters_.find(std::string_view{kind});
   if (it == kind_counters_.end()) {
     const std::string k{kind};
-    KindCounters handles{metrics_.counter("net.sent." + k),
+    KindCounters handles{static_cast<std::uint32_t>(kind_counters_.size()),
+                         metrics_.counter("net.sent." + k),
                          metrics_.counter("net.delivered." + k),
                          metrics_.counter("net.weight." + k)};
     it = kind_counters_.emplace(k, handles).first;
@@ -42,7 +44,9 @@ std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
   counters.sent.inc();
   counters.weight.inc(msg->weight());
   if (per_step_sent_.size() <= now_) per_step_sent_.resize(now_ + 1);
-  ++per_step_sent_[now_][kind];
+  auto& at_step = per_step_sent_[now_];
+  if (at_step.size() <= counters.id) at_step.resize(counters.id + 1, 0);
+  ++at_step[counters.id];
 
   const std::uint64_t seq = ++link_seq_[{src, dst}];
   auto& trace = util::Trace::instance();
@@ -77,63 +81,66 @@ void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
     horizon = due;
   } else if (rng_.chance(config_.duplicate_probability)) {
     duplicated_.inc();
-    in_flight_.push_back(
-        {now_ + delay + 1, src, dst, seq, sent_at, msg->clone()});
+    // The clone lands one step after the original, so (src, dst, seq) stays
+    // unique within every due bucket.
+    in_flight_[now_ + delay + 1].push_back(
+        {src, dst, seq, sent_at, msg->clone()});
+    ++in_flight_count_;
   }
-  in_flight_.push_back({due, src, dst, seq, sent_at, std::move(msg)});
+  in_flight_[due].push_back({src, dst, seq, sent_at, std::move(msg)});
+  ++in_flight_count_;
 }
 
 bool Network::step() {
   ++now_;
   util::Trace::set_sim_now(now_);
-  // Deterministic delivery order: due step, then link, then send order.
-  std::stable_sort(in_flight_.begin(), in_flight_.end(),
-                   [](const InFlight& a, const InFlight& b) {
-                     return std::tie(a.due, a.src, a.dst, a.seq) <
-                            std::tie(b.due, b.src, b.dst, b.seq);
-                   });
-  std::vector<InFlight> due;
-  std::vector<InFlight> later;
-  later.reserve(in_flight_.size());
-  for (auto& m : in_flight_) {
-    (m.due <= now_ ? due : later).push_back(std::move(m));
-  }
-  in_flight_ = std::move(later);
-
   auto& trace = util::Trace::instance();
-  for (auto& m : due) {
-    auto it = handlers_.find(m.dst);
-    if (it == handlers_.end()) {
-      throw std::logic_error("message addressed to unattached process " +
-                             to_string(m.dst));
+  // Drain every due bucket (normally exactly one: delays are >= 1, so no
+  // bucket can age past its step unnoticed).  Delivery order matches the
+  // old full sort: due step ascending (map order), then link, then send
+  // order — (src, dst, seq) is unique within a bucket, so sorting the
+  // bucket reproduces it exactly.
+  while (!in_flight_.empty() && in_flight_.begin()->first <= now_) {
+    std::vector<InFlight> due = std::move(in_flight_.begin()->second);
+    in_flight_.erase(in_flight_.begin());
+    in_flight_count_ -= due.size();
+    std::sort(due.begin(), due.end(), [](const InFlight& a, const InFlight& b) {
+      return std::tie(a.src, a.dst, a.seq) < std::tie(b.src, b.dst, b.seq);
+    });
+    for (auto& m : due) {
+      auto it = handlers_.find(m.dst);
+      if (it == handlers_.end()) {
+        throw std::logic_error("message addressed to unattached process " +
+                               to_string(m.dst));
+      }
+      counters_for(m.msg->kind()).delivered.inc();
+      // Handler runs in the destination's context: RGC_LOG lines and trace
+      // events it emits are attributed to (step, dst).
+      const util::ScopedProcess ctx{m.dst};
+      if (trace.enabled()) {
+        trace.instant("net.deliver", m.dst, 0, false,
+                      {util::TraceArg::str("kind", m.msg->kind()),
+                       util::TraceArg::num("src", raw(m.src)),
+                       util::TraceArg::num("latency", now_ - m.sent_at)});
+      }
+      RGC_TRACE("net: deliver ", m.msg->kind(), " ", to_string(m.src), "->",
+                to_string(m.dst));
+      const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
+      if (tap_) tap_(env);
+      it->second(env);
     }
-    counters_for(m.msg->kind()).delivered.inc();
-    // Handler runs in the destination's context: RGC_LOG lines and trace
-    // events it emits are attributed to (step, dst).
-    const util::ScopedProcess ctx{m.dst};
-    if (trace.enabled()) {
-      trace.instant("net.deliver", m.dst, 0, false,
-                    {util::TraceArg::str("kind", m.msg->kind()),
-                     util::TraceArg::num("src", raw(m.src)),
-                     util::TraceArg::num("latency", now_ - m.sent_at)});
-    }
-    RGC_TRACE("net: deliver ", m.msg->kind(), " ", to_string(m.src), "->",
-              to_string(m.dst));
-    const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
-    if (tap_) tap_(env);
-    it->second(env);
   }
 
-  const std::uint64_t depth = in_flight_.size();
+  const std::uint64_t depth = in_flight_count_;
   queue_depth_.set(depth);
   queue_depth_hist_->record(depth);
   trace.counter("net.queue_depth", kNoProcess, depth);
-  return !in_flight_.empty();
+  return in_flight_count_ != 0;
 }
 
 std::uint64_t Network::run_until_quiescent(std::uint64_t max_steps) {
   std::uint64_t steps = 0;
-  while (!in_flight_.empty() && steps < max_steps) {
+  while (in_flight_count_ != 0 && steps < max_steps) {
     step();
     ++steps;
   }
@@ -143,9 +150,10 @@ std::uint64_t Network::run_until_quiescent(std::uint64_t max_steps) {
 std::uint64_t Network::sent_at_step(const std::string& kind,
                                     std::uint64_t step) const {
   if (step >= per_step_sent_.size()) return 0;
+  auto it = kind_counters_.find(kind);
+  if (it == kind_counters_.end()) return 0;
   const auto& at = per_step_sent_[step];
-  auto it = at.find(kind);
-  return it == at.end() ? 0 : it->second;
+  return it->second.id < at.size() ? at[it->second.id] : 0;
 }
 
 std::uint64_t Network::total_sent(const std::string& kind) const {

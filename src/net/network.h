@@ -70,13 +70,16 @@ class Network {
   /// Virtual time (number of completed steps).
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
 
-  [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
+  [[nodiscard]] bool idle() const noexcept { return in_flight_count_ == 0; }
 
   /// Cumulative counters: "net.sent.<kind>", "net.delivered.<kind>",
   /// "net.dropped", "net.weight.<kind>"; gauge "net.queue_depth" and the
   /// like-named histogram sampled once per step.
   [[nodiscard]] const util::Metrics& metrics() const noexcept { return metrics_; }
   util::Metrics& metrics() noexcept { return metrics_; }
+
+  /// Messages currently in flight.
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_count_; }
 
   /// Number of messages of `kind` *sent during* step `step` (for Figure 8's
   /// per-step CDM series).  Steps with no such sends report zero.
@@ -88,7 +91,6 @@ class Network {
 
  private:
   struct InFlight {
-    std::uint64_t due;
     ProcessId src;
     ProcessId dst;
     std::uint64_t seq;
@@ -101,8 +103,10 @@ class Network {
 
   /// Per-kind counter handles resolved once per kind instead of one
   /// string-concatenation + map lookup per message (the Metrics::add hot
-  /// path fix).
+  /// path fix), plus the kind's small interned id — the per-step send
+  /// series indexes by it, so the send path never touches a string map.
   struct KindCounters {
+    std::uint32_t id;
     util::Counter sent;
     util::Counter delivered;
     util::Counter weight;
@@ -112,7 +116,7 @@ class Network {
   NetworkConfig config_;
   util::Rng rng_;
   util::Metrics metrics_;
-  std::map<std::string, KindCounters> kind_counters_;
+  std::map<std::string, KindCounters, std::less<>> kind_counters_;
   util::Counter dropped_;
   util::Counter duplicated_;
   util::Gauge queue_depth_;
@@ -124,9 +128,14 @@ class Network {
   /// Latest due-step handed to a reliable message per link; later reliable
   /// sends are clamped to at least this value to guarantee per-link FIFO.
   std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> reliable_due_;
-  std::vector<InFlight> in_flight_;
-  /// per_step_sent_[step][kind] -> count of sends.
-  std::vector<std::map<std::string, std::uint64_t>> per_step_sent_;
+  /// Due-step bucket queue: each step drains only the buckets that are due
+  /// instead of scanning (and re-sorting) everything in flight.  Buckets
+  /// hold messages in send order and are sorted by link at delivery time,
+  /// reproducing the (due, src, dst, seq) order of the old full sort.
+  std::map<std::uint64_t, std::vector<InFlight>> in_flight_;
+  std::size_t in_flight_count_{0};
+  /// per_step_sent_[step][kind id] -> count of sends.
+  std::vector<std::vector<std::uint64_t>> per_step_sent_;
 };
 
 }  // namespace rgc::net

@@ -89,7 +89,7 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
     bound.push_back(heap_.contains(r) ? Ref{r, kNoProcess} : Ref{r, env.src});
     const StubKey key{r, env.src};
     if (stubs_.contains(key)) continue;
-    stubs_.emplace(key, Stub{key, 0, network_->now()});
+    ensure_stub(key, network_->now());
     stub_peers_.insert(env.src);
     counters_.stubs_created.inc();
   }
@@ -111,20 +111,21 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
 }
 
 void Process::invoke(ObjectId target, std::uint32_t root_steps) {
-  const auto keys = stubs_for(target);
-  if (keys.empty()) {
+  // Deterministic choice: the lowest-numbered target process (the index
+  // keeps each target's stubs in target-process order).
+  Stub* first = first_stub_for(target);
+  if (first == nullptr) {
     throw std::logic_error("invoke: no stub for " + to_string(target) +
                            " on " + to_string(id_));
   }
-  // Deterministic choice: the lowest-numbered target process.
-  Stub& stub = stubs_.at(keys.front());
+  Stub& stub = *first;
   ++stub.ic;
 
   auto msg = std::make_unique<InvokeMsg>();
   msg->target = target;
   msg->ic = stub.ic;
   msg->root_steps = root_steps;
-  network_->send(id_, keys.front().target_process, std::move(msg));
+  network_->send(id_, stub.key.target_process, std::move(msg));
 
   // The caller holds the reference in a register for the call's duration.
   pin_transient_root(target, root_steps);
@@ -151,18 +152,18 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
     // an intermediary of a stub–scion chain and routes the invocation one
     // hop further, bumping the next link's IC exactly like a first-hop
     // caller would (the race barrier sees every traversed link move).
-    const auto next = stubs_for(msg.target);
-    if (next.empty()) {
+    Stub* next = first_stub_for(msg.target);
+    if (next == nullptr) {
       throw std::logic_error("on_invoke: chain broken for " +
                              to_string(msg.target) + " on " + to_string(id_));
     }
-    Stub& stub = stubs_.at(next.front());
+    Stub& stub = *next;
     ++stub.ic;
     auto fwd = std::make_unique<InvokeMsg>();
     fwd->target = msg.target;
     fwd->ic = stub.ic;
     fwd->root_steps = msg.root_steps;
-    network_->send(id_, next.front().target_process, std::move(fwd));
+    network_->send(id_, stub.key.target_process, std::move(fwd));
     counters_.invocations_forwarded.inc();
   }
 }

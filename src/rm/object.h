@@ -51,6 +51,32 @@ struct Object {
   /// the object becomes locally unreachable.
   bool finalizable{false};
 
+  /// Intrusive mark state for the LGC (epoch-validated, so no per-collection
+  /// reset pass and no side-table allocations).  `mark_bits` holds the
+  /// kReach* mask for the collection identified by `mark_epoch`; bits from
+  /// older epochs are stale and read as zero.  Mutable: marking is a
+  /// logically read-only phase that may run on a const Process view.
+  mutable std::uint64_t mark_epoch{0};
+  mutable std::uint8_t mark_bits{0};
+
+  /// Sets `bit` in this object's mask for `epoch`, lazily discarding any
+  /// stale mask.  Returns true when the bit was newly set (first visit in
+  /// this trace family — the caller should enqueue the object).
+  bool mark(std::uint64_t epoch, std::uint8_t bit) const {
+    if (mark_epoch != epoch) {
+      mark_epoch = epoch;
+      mark_bits = 0;
+    }
+    if (mark_bits & bit) return false;
+    mark_bits |= bit;
+    return true;
+  }
+
+  /// The kReach* mask accumulated during `epoch` (zero if untouched).
+  [[nodiscard]] std::uint8_t marks(std::uint64_t epoch) const {
+    return mark_epoch == epoch ? mark_bits : 0;
+  }
+
   /// Adds a reference; duplicates (same target, any binding) are collapsed.
   bool add_ref(Ref ref) {
     if (references(ref.target)) return false;

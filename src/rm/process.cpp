@@ -80,18 +80,42 @@ void Process::remove_root(ObjectId target) { heap_.remove_root(target); }
 
 std::vector<StubKey> Process::stubs_for(ObjectId target) const {
   std::vector<StubKey> out;
-  // StubKey orders by target first, so all stubs for `target` are adjacent.
-  for (auto it = stubs_.lower_bound(StubKey{target, ProcessId{0}});
-       it != stubs_.end() && it->first.target == target; ++it) {
-    out.push_back(it->first);
-  }
+  for_each_stub_for(target, [&](const Stub& stub) { out.push_back(stub.key); });
   return out;
 }
 
 bool Process::knows(ObjectId id) const {
-  if (heap_.contains(id)) return true;
-  auto it = stubs_.lower_bound(StubKey{id, ProcessId{0}});
-  return it != stubs_.end() && it->first.target == id;
+  return heap_.contains(id) || stub_index_.contains(id);
+}
+
+Stub& Process::ensure_stub(StubKey key, std::uint64_t created_at) {
+  auto [it, inserted] = stubs_.try_emplace(key, Stub{key, 0, created_at});
+  if (inserted) {
+    // Keep the per-target bucket ordered by target process, matching the
+    // key order of stubs_ (StubKey orders by target then target_process).
+    auto& bucket = stub_index_[key.target];
+    auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), key.target_process,
+        [](const Stub* s, ProcessId p) { return s->key.target_process < p; });
+    bucket.insert(pos, &it->second);
+  }
+  return it->second;
+}
+
+bool Process::erase_stub(StubKey key) {
+  auto it = stubs_.find(key);
+  if (it == stubs_.end()) return false;
+  auto bucket_it = stub_index_.find(key.target);
+  auto& bucket = bucket_it->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), &it->second));
+  if (bucket.empty()) stub_index_.erase(bucket_it);
+  stubs_.erase(it);
+  return true;
+}
+
+Stub* Process::find_stub(StubKey key) {
+  auto it = stubs_.find(key);
+  return it == stubs_.end() ? nullptr : &it->second;
 }
 
 InProp* Process::find_in_prop(ObjectId object, ProcessId from) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -48,6 +49,31 @@ struct ProcessCounters {
   util::Counter lgc_reclaimed;
 
   explicit ProcessCounters(util::Metrics& metrics);
+};
+
+/// Per-process scratch buffers for the LGC's epoch marking: the BFS
+/// worklist doubles as the visited list (every enqueued object stays in
+/// `queue`), and `stubs` records stubs touched this epoch so results can be
+/// read back without scanning the whole stub table.  Owned by the process
+/// so repeated collections reuse the same capacity — the trace loop does
+/// zero heap allocations at steady state.  Mutable state of a logically
+/// read-only phase; touched only by whichever single thread is marking
+/// this process (the cluster never marks one process from two threads).
+struct MarkScratch {
+  std::uint64_t epoch{0};
+  /// Objects already handed out by drain() (queue[0..head) are processed).
+  std::size_t head{0};
+  std::vector<const Object*> queue;
+  std::vector<StubKey> stubs;
+  /// Optional dense heap index (id-sorted pointers into the heap), built by
+  /// Process::build_mark_index for whole-heap traces: resolving a reference
+  /// becomes a binary search over a contiguous array instead of a tree walk
+  /// per edge.  Empty when not built (per-seed traces skip it — building is
+  /// O(heap), only worth it when the trace will visit most of the heap).
+  std::vector<std::pair<ObjectId, const Object*>> index;
+  /// True when the indexed ids are contiguous — lookups become a direct
+  /// offset instead of a binary search (common right after bulk loads).
+  bool index_dense{false};
 };
 
 class Process {
@@ -106,16 +132,47 @@ class Process {
 
   [[nodiscard]] bool has_replica(ObjectId id) const { return heap_.contains(id); }
 
-  /// All stubs designating `target` (SSP chains allow several).
+  /// All stubs designating `target` (SSP chains allow several), ordered by
+  /// target process.  Allocates the result vector; hot paths should use
+  /// for_each_stub_for instead.
   [[nodiscard]] std::vector<StubKey> stubs_for(ObjectId target) const;
+
+  /// Visits every stub designating `target` in target-process order,
+  /// without allocating (reverse stub index, O(1) amortized lookup).
+  template <typename Fn>
+  void for_each_stub_for(ObjectId target, Fn&& fn) const {
+    auto it = stub_index_.find(target);
+    if (it == stub_index_.end()) return;
+    for (const Stub* stub : it->second) fn(*stub);
+  }
+
+  /// First stub designating `target` in target-process order, or nullptr.
+  [[nodiscard]] const Stub* first_stub_for(ObjectId target) const {
+    auto it = stub_index_.find(target);
+    return it == stub_index_.end() ? nullptr : it->second.front();
+  }
+  [[nodiscard]] Stub* first_stub_for(ObjectId target) {
+    auto it = stub_index_.find(target);
+    return it == stub_index_.end() ? nullptr : it->second.front();
+  }
 
   /// True when this process can reach `id` at all: replica, stub, or root.
   [[nodiscard]] bool knows(ObjectId id) const;
 
   // ---- DGC table access --------------------------------------------------
 
-  [[nodiscard]] std::map<StubKey, Stub>& stubs() noexcept { return stubs_; }
   [[nodiscard]] const std::map<StubKey, Stub>& stubs() const noexcept { return stubs_; }
+
+  /// Stub-table mutation goes through these so the reverse index
+  /// (target -> stubs) stays coherent; there is deliberately no mutable
+  /// stubs() accessor.
+  Stub& ensure_stub(StubKey key, std::uint64_t created_at);
+  bool erase_stub(StubKey key);
+  [[nodiscard]] Stub* find_stub(StubKey key);
+  [[nodiscard]] const Stub* find_stub(StubKey key) const {
+    auto it = stubs_.find(key);
+    return it == stubs_.end() ? nullptr : &it->second;
+  }
   [[nodiscard]] std::map<ScionKey, Scion>& scions() noexcept { return scions_; }
   [[nodiscard]] const std::map<ScionKey, Scion>& scions() const noexcept { return scions_; }
   [[nodiscard]] std::vector<InProp>& in_props() noexcept { return in_props_; }
@@ -165,6 +222,38 @@ class Process {
   /// Hot-path counter handles (same storage as metrics()).
   [[nodiscard]] ProcessCounters& counters() noexcept { return counters_; }
 
+  // ---- LGC marking support --------------------------------------------
+
+  /// Starts a fresh mark epoch: bumps the epoch (invalidating every
+  /// object/stub mask lazily) and rewinds the scratch buffers, keeping
+  /// their capacity.  Returns the scratch; const because marking is a
+  /// read-only phase over the object graph.
+  MarkScratch& begin_mark_epoch() const {
+    ++scratch_.epoch;
+    scratch_.head = 0;
+    scratch_.queue.clear();
+    scratch_.stubs.clear();
+    scratch_.index.clear();
+    scratch_.index_dense = false;
+    return scratch_;
+  }
+
+  /// Fills the scratch's dense heap index (see MarkScratch::index).  Call
+  /// after begin_mark_epoch and before any heap mutation of this epoch.
+  void build_mark_index() const {
+    scratch_.index.reserve(heap_.size());
+    for (const auto& [id, obj] : heap_.objects()) {
+      scratch_.index.emplace_back(id, &obj);
+    }
+    scratch_.index_dense =
+        !scratch_.index.empty() &&
+        raw(scratch_.index.back().first) - raw(scratch_.index.front().first) ==
+            scratch_.index.size() - 1;
+  }
+
+  /// Scratch of the *current* epoch (for result read-back after tracing).
+  [[nodiscard]] MarkScratch& mark_scratch() const { return scratch_; }
+
  private:
   /// Creates or refreshes the scions for `object`'s enclosed references
   /// toward `to` ("clean before send"); `seq` is recorded as the creation
@@ -175,6 +264,10 @@ class Process {
   net::Network* network_;
   Heap heap_;
   std::map<StubKey, Stub> stubs_;
+  /// Reverse stub index: target object -> stubs designating it, ordered by
+  /// target process (pointers into stubs_, which has stable addresses).
+  std::unordered_map<ObjectId, std::vector<Stub*>> stub_index_;
+  mutable MarkScratch scratch_;
   std::map<ScionKey, Scion> scions_;
   std::vector<InProp> in_props_;
   std::vector<OutProp> out_props_;

@@ -38,6 +38,25 @@ struct Stub {
   std::uint64_t ic{0};
   /// Step at which the stub was created (diagnostics).
   std::uint64_t created_at{0};
+
+  /// Intrusive LGC mark state, epoch-validated exactly like
+  /// rm::Object::mark_epoch/mark_bits (see object.h).
+  mutable std::uint64_t mark_epoch{0};
+  mutable std::uint8_t mark_bits{0};
+
+  bool mark(std::uint64_t epoch, std::uint8_t bit) const {
+    if (mark_epoch != epoch) {
+      mark_epoch = epoch;
+      mark_bits = 0;
+    }
+    if (mark_bits & bit) return false;
+    mark_bits |= bit;
+    return true;
+  }
+
+  [[nodiscard]] std::uint8_t marks(std::uint64_t epoch) const {
+    return mark_epoch == epoch ? mark_bits : 0;
+  }
 };
 
 /// Identifies a scion within its holder process: the remote process that

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+namespace rgc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (workers_.empty() || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_size_ = n;
+    next_index_ = 0;
+    checked_in_ = 0;
+    body_ = &body;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return checked_in_ == workers_.size() + 1; });
+  body_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain();
+  }
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* body;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= job_size_) break;
+      index = next_index_++;
+      body = body_;
+    }
+    try {
+      (*body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      next_index_ = job_size_;  // abort remaining indices
+    }
+  }
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all_done = ++checked_in_ == workers_.size() + 1;
+  }
+  if (all_done) done_.notify_all();
+}
+
+}  // namespace rgc::util

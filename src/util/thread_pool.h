@@ -1,0 +1,69 @@
+// Fixed-size worker pool for the cluster's phase-split GC parallelism.
+//
+// The simulator's protocol logic stays single-threaded (see util/log.h);
+// the pool only ever runs *read-only, per-process* phases — LGC marking and
+// snapshot summarization — where process i is touched by exactly one task
+// and tasks share nothing mutable (core/cluster.cpp documents the phase
+// rules, docs/PERFORMANCE.md the reasoning).  Results land in caller-owned
+// slots indexed by task, so the outcome is independent of scheduling order:
+// a run with N workers is bit-for-bit identical to a serial run.
+//
+// parallel_for(n, body) runs body(0..n-1) across the workers plus the
+// calling thread and blocks until every index completed.  Tasks must not
+// call back into the pool (no nesting).  The first exception thrown by any
+// task is rethrown on the caller after the barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rgc::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread, so a
+  /// pool built with threads=4 spawns 3 workers.  threads <= 1 spawns none
+  /// and parallel_for degenerates to a plain loop.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + caller).
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs body(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread; returns when all completed.  Indices
+  /// are claimed atomically, so each runs exactly once (on an unspecified
+  /// thread).  Not reentrant.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Claims and runs indices of the current job until none remain; returns
+  /// the number of participants still draining (for the completion wait).
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers wait for a new job generation
+  std::condition_variable done_;   // caller waits for participants to check in
+  bool stop_{false};
+  std::uint64_t generation_{0};    // bumped per parallel_for call
+  std::size_t job_size_{0};
+  std::size_t next_index_{0};      // guarded by mutex_ (claimed in chunks of 1)
+  std::size_t checked_in_{0};      // participants done draining this generation
+  const std::function<void(std::size_t)>* body_{nullptr};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rgc::util
