@@ -10,6 +10,9 @@
 // its full event timeline (spans, CDM lineage, counters — see
 // docs/OBSERVABILITY.md); with --mode both the files hold the *last* run
 // (the timeline is cleared between runs so lineage ids stay unambiguous).
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,8 +20,12 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/report.h"
+#include "obs/dashboard.h"
+#include "obs/health.h"
+#include "obs/prom.h"
 #include "util/trace.h"
 #include "workload/mesh.h"
 
@@ -38,6 +45,12 @@ struct Options {
   std::string trace_out;    // Chrome trace_event JSON (chrome://tracing)
   std::string trace_jsonl;  // one event object per line
   std::string report_json;  // machine-readable ClusterReport
+  std::string prom_out;     // Prometheus text exposition
+  std::uint64_t audit_interval{64};  // health-audit cadence; 0 disables
+  bool watch{false};                 // live dashboard mode
+  std::uint64_t watch_steps{256};    // steps to run in watch mode
+  std::uint64_t watch_every{16};     // render a frame every N steps
+  std::uint64_t watch_delay_ms{0};   // sleep between frames (demo pacing)
 };
 
 void usage(const char* argv0) {
@@ -47,7 +60,10 @@ void usage(const char* argv0) {
       "exhaustive|distance|suspicion]\n"
       "          [--seed S] [--full-gc] [--report]\n"
       "          [--trace-out=FILE] [--trace-jsonl=FILE] "
-      "[--report-json=FILE]\n",
+      "[--report-json=FILE]\n"
+      "          [--prom-out=FILE] [--audit-interval N]\n"
+      "          [--watch] [--watch-steps N] [--watch-every N] "
+      "[--watch-delay-ms M]\n",
       argv0);
 }
 
@@ -104,6 +120,29 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.report_json = v;
+    } else if (arg == "--prom-out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.prom_out = v;
+    } else if (arg == "--audit-interval") {
+      const char* v = value();
+      if (!v) return false;
+      opt.audit_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--watch-steps") {
+      const char* v = value();
+      if (!v) return false;
+      opt.watch_steps = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--watch-every") {
+      const char* v = value();
+      if (!v) return false;
+      opt.watch_every = std::strtoull(v, nullptr, 10);
+      if (opt.watch_every == 0) opt.watch_every = 1;
+    } else if (arg == "--watch-delay-ms") {
+      const char* v = value();
+      if (!v) return false;
+      opt.watch_delay_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--watch") {
+      opt.watch = true;
     } else if (arg == "--report") {
       opt.report = true;
     } else if (arg == "--full-gc") {
@@ -142,6 +181,7 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
   } else if (opt.policy == "suspicion") {
     cfg.candidates = core::CandidatePolicy::kSuspicionAge;
   }
+  cfg.audit_interval = opt.audit_interval;
   core::Cluster cluster{cfg};
   const workload::Mesh mesh = workload::build_mesh(
       cluster, {opt.processes, opt.deps, opt.extra_replicas});
@@ -149,12 +189,14 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
   const std::uint64_t cdm_before = cluster.network().total_sent("CDM");
   std::uint64_t steps = 0;
   bool converged = false;
+  core::QuiescenceStatus drain;
 
   if (opt.full_gc) {
     const std::uint64_t start = cluster.now();
     const auto stats = cluster.run_full_gc();
     steps = cluster.now() - start;
     converged = cluster.total_objects() == 0;
+    drain = cluster.run_until_quiescent();
     std::printf("%-9s full gc: rounds=%llu detections=%llu", name,
                 static_cast<unsigned long long>(stats.rounds),
                 static_cast<unsigned long long>(stats.detections_started));
@@ -167,7 +209,7 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
     }
     steps = cluster.now() - start;
     converged = !cluster.cycles_found().empty();
-    cluster.run_until_quiescent();
+    drain = cluster.run_until_quiescent();
   }
 
   std::printf(
@@ -176,6 +218,23 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
       static_cast<unsigned long long>(cluster.network().total_sent("CDM") -
                                       cdm_before),
       mesh.total_links, converged ? "yes" : "NO");
+  if (drain.quiescent) {
+    std::printf("%-9s quiescence: drained (+%llu steps)\n", name,
+                static_cast<unsigned long long>(drain.steps));
+  } else {
+    std::printf("%-9s quiescence: TIMED OUT with %zu messages in flight\n",
+                name, drain.in_flight);
+  }
+  const obs::HealthReport& health = cluster.audit();
+  std::printf("%-9s health: %s (%zu errors, %zu warnings, %llu audits)\n",
+              name, obs::to_string(health.worst()), health.errors(),
+              health.warnings(),
+              static_cast<unsigned long long>(health.audit_runs));
+  for (const obs::Finding& f : health.findings) {
+    if (f.severity == obs::Severity::kError) {
+      std::printf("          %s\n", f.to_string().c_str());
+    }
+  }
   if (opt.report) std::cout << core::make_report(cluster);
 
   int rc = 0;
@@ -186,6 +245,12 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
                     "report JSON")) {
       rc = 1;
     }
+  }
+  if (!opt.prom_out.empty() &&
+      !write_file(opt.prom_out,
+                  [&](std::ostream& os) { obs::write_prometheus(cluster, os); },
+                  "Prometheus metrics")) {
+    rc = 1;
   }
   if (timeline != nullptr) {
     if (!opt.trace_out.empty() &&
@@ -204,6 +269,50 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
   return rc;
 }
 
+/// Live dashboard: steps the cluster through a detection + periodic
+/// collections, rendering one frame every watch_every steps.  On a TTY the
+/// screen is cleared between frames; otherwise frames are separated by a
+/// rule so the output stays scriptable.
+int run_watch(const Options& opt) {
+  core::ClusterConfig cfg;
+  cfg.net.seed = opt.seed;
+  cfg.audit_interval = opt.audit_interval;
+  core::Cluster cluster{cfg};
+  const workload::Mesh mesh = workload::build_mesh(
+      cluster, {opt.processes, opt.deps, opt.extra_replicas});
+  cluster.snapshot_all();
+  cluster.detect(mesh.head_process, mesh.head);
+
+  obs::DashboardState state;
+  const bool tty = isatty(fileno(stdout)) != 0;
+  for (std::uint64_t s = 1; s <= opt.watch_steps; ++s) {
+    cluster.step();
+    // Keep the collectors active so frames show live GC state, not a
+    // drained network.
+    if (s % 64 == 0) cluster.collect_all();
+    if (s % opt.watch_every == 0 || s == opt.watch_steps) {
+      if (tty) std::fputs("\x1b[2J\x1b[H", stdout);
+      std::fputs(obs::render_dashboard(cluster, state).c_str(), stdout);
+      if (!tty) std::fputs("----\n", stdout);
+      std::fflush(stdout);
+      if (opt.watch_delay_ms != 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt.watch_delay_ms));
+      }
+    }
+  }
+
+  const obs::HealthReport& health = cluster.audit();
+  std::printf("final %s\n", health.to_string().c_str());
+  if (!opt.prom_out.empty() &&
+      !write_file(opt.prom_out,
+                  [&](std::ostream& os) { obs::write_prometheus(cluster, os); },
+                  "Prometheus metrics")) {
+    return 1;
+  }
+  return health.errors() == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +321,7 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (opt.watch) return run_watch(opt);
   util::Timeline timeline;
   const bool tracing = !opt.trace_out.empty() || !opt.trace_jsonl.empty();
   if (tracing) util::Trace::instance().set_sink(&timeline);

@@ -41,3 +41,24 @@ for b in "${BENCHES[@]}"; do
   RGC_BENCH_JSONL="$OUT" "./build/bench/$b"
 done
 echo "wrote $(wc -l < "$OUT") datapoints to $OUT"
+
+# Perf trajectory: diff this run against the newest committed BENCH_*.json
+# baseline (newest by last-touching commit; skipping the one we just wrote,
+# if OUT itself is a baseline being refreshed).
+if command -v python3 >/dev/null 2>&1; then
+  BASELINE=""
+  NEWEST=0
+  while IFS= read -r f; do
+    [[ "$f" -ef "$OUT" ]] && continue
+    ts=$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)
+    if [[ "${ts:-0}" -gt "$NEWEST" ]]; then
+      NEWEST="$ts"
+      BASELINE="$f"
+    fi
+  done < <(git ls-files 'BENCH_*.json' 2>/dev/null)
+  if [[ -n "$BASELINE" ]]; then
+    python3 scripts/bench_diff.py "$BASELINE" "$OUT"
+  else
+    echo "no committed BENCH_*.json baseline to diff against"
+  fi
+fi

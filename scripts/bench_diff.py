@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Diff two bench JSONL files (see bench/bench_util.h) field by field.
+
+Usage: scripts/bench_diff.py BASELINE.jsonl CURRENT.jsonl
+
+Datapoints are matched by their "bench" name; numeric fields shared by both
+sides are printed with their relative change.  Fields present on only one
+side are listed (new benches and new fields are normal as the suite grows).
+Exit code is always 0 — the diff is a trajectory report, not a gate.
+"""
+import json
+import sys
+
+
+def load(path):
+    """bench name -> {field: value}; last record wins on duplicate names."""
+    out = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            name = rec.pop("bench", None) or rec.pop("name", None)
+            if name is None:
+                continue
+            out[name] = rec
+    return out
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_path, cur_path = sys.argv[1], sys.argv[2]
+    base, cur = load(base_path), load(cur_path)
+
+    print(f"bench diff: {base_path} -> {cur_path}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"  {name}: new bench (no baseline)")
+            continue
+        if name not in cur:
+            print(f"  {name}: missing from current run")
+            continue
+        b, c = base[name], cur[name]
+        print(f"  {name}:")
+        for field in sorted(set(b) | set(c)):
+            if field in ("ts", "git", "host"):
+                continue
+            bv, cv = b.get(field), c.get(field)
+            if bv is None:
+                print(f"    {field}: (new) {cv}")
+            elif cv is None:
+                print(f"    {field}: {bv} (dropped)")
+            elif is_number(bv) and is_number(cv):
+                if bv != 0:
+                    delta = (cv - bv) / abs(bv) * 100.0
+                    print(f"    {field}: {bv:g} -> {cv:g} ({delta:+.1f}%)")
+                else:
+                    print(f"    {field}: {bv:g} -> {cv:g}")
+            elif bv != cv:
+                print(f"    {field}: {bv!r} -> {cv!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

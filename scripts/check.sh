@@ -33,8 +33,17 @@ if [[ "${1:-}" != "--fast" ]]; then
   # behind Cluster::collect_round/snapshot_all, which this suite covers).
   echo "== thread sanitizer build + determinism tests =="
   cmake -B build-tsan -S . -DRGC_SANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target determinism_test
+  cmake --build build-tsan -j "$JOBS" --target determinism_test chaos_test
   ./build-tsan/tests/determinism_test
+
+  # Audit-enabled chaos: the online health auditor runs every step
+  # (RGC_CHAOS_AUDIT=1) with the worker pool at 4 threads, under both
+  # sanitizer trees.  chaos_test asserts cluster.audit().errors() == 0
+  # after every burst, so any auditor ERROR fails the run.
+  echo "== chaos under ASan/UBSan, audit every step, threads=4 =="
+  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 ./build-asan/tests/chaos_test
+  echo "== chaos under TSan, audit every step, threads=4 =="
+  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 ./build-tsan/tests/chaos_test
 fi
 
 echo "OK"

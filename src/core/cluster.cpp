@@ -9,7 +9,12 @@
 namespace rgc::core {
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), net_(config.net), finalizer_(config.finalize) {}
+    : config_(config), net_(config.net), finalizer_(config.finalize) {
+  auditor_ = std::make_unique<obs::HealthAuditor>(
+      *this, obs::AuditConfig{config_.audit_interval, config_.audit_deep_every,
+                              config_.audit_oracle_assist});
+  net_.set_observer(auditor_.get());
+}
 
 Cluster::~Cluster() = default;
 
@@ -30,6 +35,7 @@ ProcessId Cluster::add_process() {
   node.baseline->on_cycle_found = [this, pid](const gc::Cdm& cdm) {
     handle_cycle_found(pid, cdm);
   };
+  node.detector->set_profile(&profile_.histogram("cycle.detect_us"));
   nodes_.emplace(pid, std::move(node));
   net_.attach(pid, [this, pid](const net::Envelope& env) { dispatch(pid, env); });
   return pid;
@@ -104,9 +110,12 @@ void Cluster::invoke(ProcessId caller, ObjectId target,
 void Cluster::step() {
   net_.step();
   for (auto& [pid, node] : nodes_) node.process->tick();
+  if (config_.audit_interval != 0 && now() % config_.audit_interval == 0) {
+    auditor_->run_scheduled();
+  }
 }
 
-std::uint64_t Cluster::run_until_quiescent(std::uint64_t max_steps) {
+QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   while (!net_.idle() && steps < max_steps) {
     step();
@@ -120,7 +129,7 @@ std::uint64_t Cluster::run_until_quiescent(std::uint64_t max_steps) {
     RGC_WARN("cluster: run_until_quiescent gave up after ", max_steps,
              " steps with ", net_.in_flight(), " messages still in flight");
   }
-  return steps;
+  return QuiescenceStatus{steps, net_.idle(), net_.in_flight()};
 }
 
 util::ThreadPool& Cluster::pool() {
@@ -175,30 +184,40 @@ std::uint64_t Cluster::collect_round() {
 
   // Phase 1 — trace (read-only, parallel across processes).
   std::vector<gc::LgcMark> marks(n);
-  pool().parallel_for(n, [&](std::size_t i) {
-    marks[i] = gc::Lgc::mark(*nodes[i]->process, cfg);
-  });
+  {
+    util::ScopedTimerUs timer{&profile_.histogram("lgc.mark_us")};
+    pool().parallel_for(n, [&](std::size_t i) {
+      marks[i] = gc::Lgc::mark(*nodes[i]->process, cfg);
+    });
+  }
 
   // Phase 2 — sweep + finalize (mutating, shared finalizer: serial).
   std::vector<gc::LgcResult> results(n);
   std::uint64_t reclaimed = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    util::ScopedProcess ctx{pids[i]};
-    results[i] = gc::Lgc::apply(*nodes[i]->process, marks[i], cfg);
-    nodes[i]->distance->prune(*nodes[i]->process);
-    reclaimed += results[i].reclaimed.size();
+  {
+    util::ScopedTimerUs timer{&profile_.histogram("lgc.apply_us")};
+    for (std::size_t i = 0; i < n; ++i) {
+      util::ScopedProcess ctx{pids[i]};
+      results[i] = gc::Lgc::apply(*nodes[i]->process, marks[i], cfg);
+      nodes[i]->distance->prune(*nodes[i]->process);
+      reclaimed += results[i].reclaimed.size();
+    }
   }
 
   // Phase 3 — post-sweep summaries for the distance heuristic (read-only,
   // parallel; this is what made the serial round O(heap) per process even
   // when nothing was garbage).
   std::vector<gc::ProcessSummary> summaries(n);
-  pool().parallel_for(n, [&](std::size_t i) {
-    summaries[i] = gc::summarize(*nodes[i]->process);
-  });
+  {
+    util::ScopedTimerUs timer{&profile_.histogram("lgc.summarize_us")};
+    pool().parallel_for(n, [&](std::size_t i) {
+      summaries[i] = gc::summarize(*nodes[i]->process);
+    });
+  }
 
   // Phase 4 — heuristic digests + ADGC protocol messages (sends traffic:
   // serial, pid order — exactly the send order of the serial path).
+  util::ScopedTimerUs timer{&profile_.histogram("adgc.digest_us")};
   for (std::size_t i = 0; i < n; ++i) {
     util::ScopedProcess ctx{pids[i]};
     rm::Process& proc = *nodes[i]->process;
@@ -227,9 +246,13 @@ void Cluster::snapshot_all() {
   // Summarize concurrently (read-only per process), install serially so
   // detector bookkeeping, metrics, and trace spans land in pid order.
   std::vector<gc::ProcessSummary> summaries(n);
-  pool().parallel_for(n, [&](std::size_t i) {
-    summaries[i] = gc::summarize(*nodes[i]->process);
-  });
+  {
+    util::ScopedTimerUs timer{&profile_.histogram("cycle.summarize_us")};
+    pool().parallel_for(n, [&](std::size_t i) {
+      summaries[i] = gc::summarize(*nodes[i]->process);
+    });
+  }
+  util::ScopedTimerUs install_timer{&profile_.histogram("cycle.install_us")};
   for (std::size_t i = 0; i < n; ++i) {
     util::ScopedProcess ctx{pids[i]};
     {

@@ -33,8 +33,11 @@
 #include "gc/cycle/heuristics.h"
 #include "gc/lgc/lgc.h"
 #include "net/network.h"
+#include "obs/audit.h"
+#include "obs/health.h"
 #include "rm/process.h"
 #include "util/ids.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace rgc::core {
@@ -77,6 +80,29 @@ struct ClusterConfig {
   /// in pid order, so network traffic, metrics, and traces don't change.
   /// 1 (default) keeps everything on the calling thread.
   std::size_t threads{1};
+  /// Scheduled cadence of the online health auditor (obs/audit.h) in
+  /// simulation steps: every audit_interval-th step() runs the shallow
+  /// invariant checks.  0 disables scheduled audits; audit() still works
+  /// on demand.
+  std::uint64_t audit_interval{64};
+  /// Every Nth scheduled audit also runs the deep (mark-based) checks.
+  std::uint64_t audit_deep_every{8};
+  /// Deep audits additionally cross-check against the omniscient
+  /// core::Oracle (test harnesses only — the oracle scan is global).
+  bool audit_oracle_assist{false};
+};
+
+/// Outcome of run_until_quiescent: how many steps ran and whether the
+/// network actually drained.  Implicitly converts to the step count so
+/// existing `std::uint64_t steps = cluster.run_until_quiescent()` callers
+/// keep compiling.
+struct QuiescenceStatus {
+  std::uint64_t steps{0};
+  bool quiescent{true};
+  /// Messages still in flight when we gave up (0 when quiescent).
+  std::size_t in_flight{0};
+
+  constexpr operator std::uint64_t() const noexcept { return steps; }  // NOLINT
 };
 
 class Cluster {
@@ -111,11 +137,31 @@ class Cluster {
   void invoke(ProcessId caller, ObjectId target, std::uint32_t root_steps = 1);
 
   // ---- Virtual time ------------------------------------------------------
-  /// One simulation step: deliver due messages, expire transient roots.
+  /// One simulation step: deliver due messages, expire transient roots,
+  /// and run the scheduled health audit when the cadence hits.
   void step();
-  /// Steps until no messages are in flight; returns steps executed.
-  std::uint64_t run_until_quiescent(std::uint64_t max_steps = 100000);
+  /// Steps until no messages are in flight; returns how many steps ran and
+  /// whether the network drained (converts to the step count).
+  QuiescenceStatus run_until_quiescent(std::uint64_t max_steps = 100000);
   [[nodiscard]] std::uint64_t now() const noexcept { return net_.now(); }
+
+  // ---- Observability ------------------------------------------------------
+  /// The always-on health auditor (scheduled by step(); see ClusterConfig).
+  [[nodiscard]] obs::HealthAuditor& auditor() noexcept { return *auditor_; }
+  [[nodiscard]] const obs::HealthAuditor& auditor() const noexcept {
+    return *auditor_;
+  }
+  /// Runs a full (deep) audit now and returns its report.
+  const obs::HealthReport& audit() { return auditor_->run_deep(); }
+  /// Latest health report (empty until the first scheduled or demanded
+  /// audit).
+  [[nodiscard]] const obs::HealthReport& health() const noexcept {
+    return auditor_->report();
+  }
+  /// Wall-clock phase profiling registry (lgc.mark_us, lgc.apply_us,
+  /// cycle.detect_us, ...).  Nondeterministic by nature — deliberately kept
+  /// out of make_report()'s deterministic output.
+  [[nodiscard]] const util::Metrics& profile() const noexcept { return profile_; }
 
   // ---- Garbage collection -------------------------------------------------
   /// One local collection + acyclic-protocol round on one process.
@@ -194,6 +240,10 @@ class Cluster {
   std::vector<gc::Cdm> cycles_found_;
   gc::Finalizer finalizer_;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Wall-clock phase timers; see profile().
+  util::Metrics profile_;
+  /// Declared after net_ so it is destroyed first (it is net_'s observer).
+  std::unique_ptr<obs::HealthAuditor> auditor_;
 };
 
 }  // namespace rgc::core

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/health.h"
 #include "util/trace.h"
 
 namespace rgc::core {
@@ -44,19 +45,37 @@ ClusterReport make_report(const Cluster& cluster) {
       if (hist->count() != 0) hist_totals[name].merge(*hist);
     }
   }
-  report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
-
   for (const auto& [name, value] : cluster.network().metrics().snapshot()) {
     constexpr std::string_view kSentPrefix = "net.sent.";
     if (value != 0 && name.starts_with(kSentPrefix)) {
       report.traffic.emplace_back(name.substr(kSentPrefix.size()), value);
     }
+    // Cluster-level incidents counted into the network registry (e.g.
+    // cluster.quiescence_timeout) surface alongside the GC counters.
+    if (value != 0 && name.starts_with("cluster.")) gc_totals[name] += value;
   }
+  report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
   for (const auto& [name, hist] :
        cluster.network().metrics().histogram_snapshot()) {
     if (hist->count() != 0) hist_totals[name].merge(*hist);
   }
   report.histograms.assign(hist_totals.begin(), hist_totals.end());
+
+  const obs::HealthReport& health = cluster.health();
+  report.health.present = health.audit_runs != 0;
+  if (report.health.present) {
+    report.health.step = health.step;
+    report.health.deep = health.deep;
+    report.health.audit_runs = health.audit_runs;
+    report.health.deep_runs = health.deep_runs;
+    report.health.worst = obs::to_string(health.worst());
+    report.health.errors = health.errors();
+    report.health.warnings = health.warnings();
+    report.health.findings.reserve(health.findings.size());
+    for (const obs::Finding& f : health.findings) {
+      report.health.findings.push_back(f.to_string());
+    }
+  }
   return report;
 }
 
@@ -97,6 +116,15 @@ std::ostream& operator<<(std::ostream& os, const ClusterReport& report) {
   }
   for (const auto& [name, hist] : report.histograms) {
     os << "  hist " << name << ": " << hist.to_string() << "\n";
+  }
+  if (report.health.present) {
+    os << "  health: " << report.health.worst << " (" << report.health.errors
+       << " errors, " << report.health.warnings << " warnings, "
+       << (report.health.deep ? "deep" : "shallow") << " audit @ step "
+       << report.health.step << ", " << report.health.audit_runs << " runs)\n";
+    for (const std::string& finding : report.health.findings) {
+      os << "    " << finding << "\n";
+    }
   }
   return os;
 }
@@ -149,7 +177,22 @@ void ClusterReport::write_json(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os << (histograms.empty() ? "" : "\n  ") << "},\n  \"health\": {";
+  os << "\"present\": " << (health.present ? "true" : "false");
+  if (health.present) {
+    os << ", \"worst\": \"" << util::json_escape(health.worst)
+       << "\", \"errors\": " << health.errors
+       << ", \"warnings\": " << health.warnings << ", \"step\": " << health.step
+       << ", \"deep\": " << (health.deep ? "true" : "false")
+       << ", \"audit_runs\": " << health.audit_runs
+       << ", \"deep_runs\": " << health.deep_runs << ", \"findings\": [";
+    for (std::size_t i = 0; i < health.findings.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << util::json_escape(health.findings[i])
+         << "\"";
+    }
+    os << "]";
+  }
+  os << "}\n}\n";
 }
 
 }  // namespace rgc::core

@@ -26,6 +26,23 @@ struct ProcessReport {
   std::uint64_t reclaimed{0};
 };
 
+/// Condensed view of the latest obs::HealthReport, embedded in the cluster
+/// report (table + JSON).  Only deterministic audit output belongs here —
+/// the wall-clock profiling registry is deliberately excluded.
+struct HealthSummary {
+  /// False until the first audit has run (health fields then read zero).
+  bool present{false};
+  std::uint64_t step{0};
+  bool deep{false};
+  std::uint64_t audit_runs{0};
+  std::uint64_t deep_runs{0};
+  std::string worst{"OK"};
+  std::size_t errors{0};
+  std::size_t warnings{0};
+  /// Rendered findings ("[ERROR] stub_scion @ P0: ...").
+  std::vector<std::string> findings;
+};
+
 struct ClusterReport {
   std::uint64_t now{0};
   std::vector<ProcessReport> processes;
@@ -37,6 +54,8 @@ struct ClusterReport {
   /// cycle.steps_to_detection, net.queue_depth, lgc.* per-collection).
   std::vector<std::pair<std::string, util::Histogram>> histograms;
   std::uint64_t cycles_found{0};
+  /// Latest health-audit outcome (see obs::HealthAuditor).
+  HealthSummary health;
 
   /// Fixed-width table rendering.
   [[nodiscard]] std::string to_string() const;

@@ -74,6 +74,7 @@ bool CycleDetector::subsumed(std::uint64_t detection, ObjectId entry,
 }
 
 std::optional<std::uint64_t> CycleDetector::start_detection(ObjectId candidate) {
+  const util::ScopedTimerUs profile{profile_us_};
   if (!summary_.has_value()) return std::nullopt;
   const ProcessId self = process_.id();
 
@@ -110,6 +111,7 @@ std::optional<std::uint64_t> CycleDetector::start_detection(ObjectId candidate) 
 }
 
 void CycleDetector::on_cdm(const net::Envelope& env, const CdmMsg& msg) {
+  const util::ScopedTimerUs profile{profile_us_};
   counters_.cdms_received.inc();
   auto& trace = util::Trace::instance();
   if (!summary_.has_value()) {

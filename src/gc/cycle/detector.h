@@ -104,6 +104,12 @@ class CycleDetector {
   /// observations (exposed for the Cluster and for tests).
   [[nodiscard]] static CutMsg make_cut(const Cdm& cdm);
 
+  /// Installs a wall-clock histogram (owned by the caller) that receives
+  /// one sample per start_detection/on_cdm invocation, in microseconds.
+  /// Nondeterministic — keep it in a registry excluded from deterministic
+  /// reports (core::Cluster::profile()).  nullptr disables profiling.
+  void set_profile(util::Histogram* hist) noexcept { profile_us_ = hist; }
+
  private:
   enum class Visit { kOk, kAbortLive, kAbortRace, kUnknownEntity };
 
@@ -167,6 +173,8 @@ class CycleDetector {
   /// cycle.steps_to_detection (sim steps from start to proof).
   util::Histogram* hops_hist_{nullptr};
   util::Histogram* steps_hist_{nullptr};
+  /// Wall-clock per-examination profiling sink; see set_profile().
+  util::Histogram* profile_us_{nullptr};
   std::optional<ProcessSummary> summary_;
   std::uint64_t next_serial_{0};
   std::map<std::pair<std::uint64_t, ObjectId>,

@@ -138,6 +138,9 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
   // run the configured strategy and may resurrect (they stay in the heap,
   // to be finalized again next time — the Figure 6/7 worst case).
   auto& objects = process.heap().objects();
+  const std::uint64_t now = process.network().now();
+  util::Histogram& reclaim_latency =
+      process.metrics().histogram("gc.reclaim_latency_steps");
   result.object_reach.reserve(objects.size());
   for (auto it = objects.begin(); it != objects.end();) {
     rm::Object& obj = it->second;
@@ -155,6 +158,12 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
         continue;
       }
     }
+    // Reclaim-latency accounting: how long this replica floated between
+    // losing its last reference (the mutator/auditor stamp) and the sweep
+    // that frees it.  Unstamped objects (created-and-dropped inside one
+    // step, or garbage from before auditing existed) record as 0.
+    reclaim_latency.record(obj.unlinked_at == 0 ? 0 : now - obj.unlinked_at);
+    process.note_reclaimed(it->first, now);
     result.reclaimed.push_back(it->first);
     it = objects.erase(it);
   }

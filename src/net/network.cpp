@@ -31,7 +31,9 @@ Network::KindCounters& Network::counters_for(const char* kind) {
     KindCounters handles{static_cast<std::uint32_t>(kind_counters_.size()),
                          metrics_.counter("net.sent." + k),
                          metrics_.counter("net.delivered." + k),
-                         metrics_.counter("net.weight." + k)};
+                         metrics_.counter("net.weight." + k),
+                         metrics_.counter("net.dropped." + k),
+                         metrics_.counter("net.duplicated." + k)};
     it = kind_counters_.emplace(k, handles).first;
   }
   return it->second;
@@ -57,17 +59,25 @@ std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
                    util::TraceArg::num("seq", seq),
                    util::TraceArg::num("weight", msg->weight())});
   }
+  if (observer_ != nullptr) {
+    observer_->on_send(Envelope{src, dst, seq, now_, msg.get()});
+  }
   if (!msg->reliable() && rng_.chance(config_.drop_probability)) {
     dropped_.inc();
+    counters.dropped.inc();
     trace.instant("net.drop", src, 0, false);
+    if (observer_ != nullptr) {
+      observer_->on_drop(Envelope{src, dst, seq, now_, msg.get()});
+    }
     return seq;
   }
-  enqueue(src, dst, std::move(msg), seq, now_);
+  enqueue(src, dst, std::move(msg), seq, now_, counters);
   return seq;
 }
 
 void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
-                      std::uint64_t seq, std::uint64_t sent_at) {
+                      std::uint64_t seq, std::uint64_t sent_at,
+                      KindCounters& counters) {
   const auto delay =
       config_.min_delay +
       (config_.max_delay > config_.min_delay
@@ -81,14 +91,20 @@ void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
     horizon = due;
   } else if (rng_.chance(config_.duplicate_probability)) {
     duplicated_.inc();
+    counters.duplicated.inc();
+    if (observer_ != nullptr) {
+      observer_->on_duplicate(Envelope{src, dst, seq, sent_at, msg.get()});
+    }
     // The clone lands one step after the original, so (src, dst, seq) stays
     // unique within every due bucket.
     in_flight_[now_ + delay + 1].push_back(
         {src, dst, seq, sent_at, msg->clone()});
     ++in_flight_count_;
+    ++counters.in_flight;
   }
   in_flight_[due].push_back({src, dst, seq, sent_at, std::move(msg)});
   ++in_flight_count_;
+  ++counters.in_flight;
 }
 
 bool Network::step() {
@@ -113,7 +129,9 @@ bool Network::step() {
         throw std::logic_error("message addressed to unattached process " +
                                to_string(m.dst));
       }
-      counters_for(m.msg->kind()).delivered.inc();
+      KindCounters& kc = counters_for(m.msg->kind());
+      kc.delivered.inc();
+      --kc.in_flight;
       // Handler runs in the destination's context: RGC_LOG lines and trace
       // events it emits are attributed to (step, dst).
       const util::ScopedProcess ctx{m.dst};
@@ -126,6 +144,7 @@ bool Network::step() {
       RGC_TRACE("net: deliver ", m.msg->kind(), " ", to_string(m.src), "->",
                 to_string(m.dst));
       const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
+      if (observer_ != nullptr) observer_->on_deliver(env);
       if (tap_) tap_(env);
       it->second(env);
     }
@@ -158,6 +177,22 @@ std::uint64_t Network::sent_at_step(const std::string& kind,
 
 std::uint64_t Network::total_sent(const std::string& kind) const {
   return metrics_.get("net.sent." + kind);
+}
+
+std::vector<Network::KindFlow> Network::kind_flows() const {
+  std::vector<KindFlow> out;
+  out.reserve(kind_counters_.size());
+  for (const auto& [kind, c] : kind_counters_) {
+    out.push_back(KindFlow{kind, c.sent.value(), c.delivered.value(),
+                           c.dropped.value(), c.duplicated.value(),
+                           c.in_flight});
+  }
+  return out;
+}
+
+std::uint64_t Network::in_flight_of(std::string_view kind) const {
+  auto it = kind_counters_.find(kind);
+  return it == kind_counters_.end() ? 0 : it->second.in_flight;
 }
 
 }  // namespace rgc::net

@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/message.h"
@@ -40,6 +41,31 @@ class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
+  /// Transport-event observer: sees every send/deliver/drop/duplicate with
+  /// the full envelope, before any protocol handler runs.  Used by the
+  /// health auditor for message-conservation accounting; default methods do
+  /// nothing so observers implement only what they need.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void on_send(const Envelope&) {}
+    virtual void on_deliver(const Envelope&) {}
+    virtual void on_drop(const Envelope&) {}
+    virtual void on_duplicate(const Envelope&) {}
+  };
+
+  /// Per-kind cumulative flow counts plus the live in-flight population.
+  /// Conservation invariant: sent + duplicated == delivered + dropped +
+  /// in_flight at every step boundary.
+  struct KindFlow {
+    std::string kind;
+    std::uint64_t sent{0};
+    std::uint64_t delivered{0};
+    std::uint64_t dropped{0};
+    std::uint64_t duplicated{0};
+    std::uint64_t in_flight{0};
+  };
+
   explicit Network(NetworkConfig config = {});
 
   Network(const Network&) = delete;
@@ -52,6 +78,11 @@ class Network {
   /// Observer invoked for every delivery, before the destination handler —
   /// a wire tap for tests and protocol tracing.  Not part of any protocol.
   void set_tap(Handler tap) { tap_ = std::move(tap); }
+
+  /// Installs (or clears, with nullptr) the transport-event observer.  The
+  /// observer is borrowed, not owned; it must outlive the network or be
+  /// detached first.
+  void set_observer(Observer* observer) { observer_ = observer; }
 
   /// Queues a message; it is deliverable no earlier than the next step.
   /// Returns the per-(src,dst)-link sequence number assigned to it (the
@@ -89,6 +120,12 @@ class Network {
   /// Total messages of `kind` sent so far.
   [[nodiscard]] std::uint64_t total_sent(const std::string& kind) const;
 
+  /// Flow accounting for every message kind seen so far, kind-sorted.
+  [[nodiscard]] std::vector<KindFlow> kind_flows() const;
+
+  /// Messages of `kind` currently in flight (zero for unseen kinds).
+  [[nodiscard]] std::uint64_t in_flight_of(std::string_view kind) const;
+
  private:
   struct InFlight {
     ProcessId src;
@@ -97,9 +134,6 @@ class Network {
     std::uint64_t sent_at;
     MessagePtr msg;
   };
-
-  void enqueue(ProcessId src, ProcessId dst, MessagePtr msg, std::uint64_t seq,
-               std::uint64_t sent_at);
 
   /// Per-kind counter handles resolved once per kind instead of one
   /// string-concatenation + map lookup per message (the Metrics::add hot
@@ -110,8 +144,15 @@ class Network {
     util::Counter sent;
     util::Counter delivered;
     util::Counter weight;
+    util::Counter dropped;
+    util::Counter duplicated;
+    /// Live population of this kind in the due-bucket queue.
+    std::uint64_t in_flight{0};
   };
   KindCounters& counters_for(const char* kind);
+
+  void enqueue(ProcessId src, ProcessId dst, MessagePtr msg, std::uint64_t seq,
+               std::uint64_t sent_at, KindCounters& counters);
 
   NetworkConfig config_;
   util::Rng rng_;
@@ -124,6 +165,7 @@ class Network {
   std::uint64_t now_{0};
   std::map<ProcessId, Handler> handlers_;
   Handler tap_;
+  Observer* observer_{nullptr};
   std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> link_seq_;
   /// Latest due-step handed to a reliable message per link; later reliable
   /// sends are clamped to at least this value to guarantee per-link FIFO.

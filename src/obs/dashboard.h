@@ -1,0 +1,32 @@
+// Live cluster dashboard: one self-contained text frame per call.
+//
+// Renders the cluster's health, per-process table state, traffic rates and
+// latency percentiles as a plain-text frame (no terminal escape codes —
+// the CLI decides whether to clear the screen between frames).  Rates are
+// computed by diffing cumulative counters against the previous frame's
+// snapshot, carried in DashboardState by the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rgc::core {
+class Cluster;
+}  // namespace rgc::core
+
+namespace rgc::obs {
+
+/// Carry-over between frames: last render step and the previous cumulative
+/// "net.sent.<kind>" counters, for per-step rate computation.
+struct DashboardState {
+  std::uint64_t last_step{0};
+  std::map<std::string, std::uint64_t> last_traffic;
+  bool first{true};
+};
+
+/// Renders one frame and updates `state` for the next one.
+[[nodiscard]] std::string render_dashboard(const core::Cluster& cluster,
+                                           DashboardState& state);
+
+}  // namespace rgc::obs

@@ -1,0 +1,142 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.h"
+#include "obs/audit.h"
+#include "rm/process.h"
+#include "util/metrics.h"
+
+namespace rgc::obs {
+namespace {
+
+std::string mangle(std::string_view name) {
+  std::string out = "rgc_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+struct Sample {
+  std::string labels;  // e.g. `process="P0"`, may be empty
+  std::uint64_t value;
+};
+
+using ScalarFamilies = std::map<std::string, std::vector<Sample>>;
+using HistFamilies =
+    std::map<std::string,
+             std::vector<std::pair<std::string, const util::Histogram*>>>;
+
+void emit_scalar(std::ostream& os, const std::string& name, const char* type,
+                 const std::vector<Sample>& samples) {
+  os << "# TYPE " << name << ' ' << type << '\n';
+  for (const Sample& s : samples) {
+    os << name;
+    if (!s.labels.empty()) os << '{' << s.labels << '}';
+    os << ' ' << s.value << '\n';
+  }
+}
+
+void emit_histogram(
+    std::ostream& os, const std::string& name,
+    const std::vector<std::pair<std::string, const util::Histogram*>>& samples) {
+  os << "# TYPE " << name << " histogram\n";
+  for (const auto& [labels, hist] : samples) {
+    const char* sep = labels.empty() ? "" : ",";
+    std::uint64_t cumulative = 0;
+    const auto& buckets = hist->buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;  // cumulative value unchanged — skip
+      cumulative += buckets[i];
+      const std::uint64_t le = i == 0 ? 0 : (1ull << i) - 1;
+      os << name << "_bucket{" << labels << sep << "le=\"" << le << "\"} "
+         << cumulative << '\n';
+    }
+    os << name << "_bucket{" << labels << sep << "le=\"+Inf\"} "
+       << hist->count() << '\n';
+    os << name << "_sum";
+    if (!labels.empty()) os << '{' << labels << '}';
+    os << ' ' << hist->sum() << '\n';
+    os << name << "_count";
+    if (!labels.empty()) os << '{' << labels << '}';
+    os << ' ' << hist->count() << '\n';
+  }
+}
+
+}  // namespace
+
+void write_prometheus(const core::Cluster& cluster, std::ostream& os) {
+  ScalarFamilies counters;
+  ScalarFamilies gauges;
+  HistFamilies histograms;
+
+  const auto collect = [&](const util::Metrics& m, const std::string& labels) {
+    for (const auto& [name, value] : m.snapshot()) {
+      counters[mangle(name)].push_back(Sample{labels, value});
+    }
+    for (const auto& [name, value] : m.gauge_snapshot()) {
+      gauges[mangle(name)].push_back(Sample{labels, value});
+    }
+    for (const auto& [name, hist] : m.histogram_snapshot()) {
+      histograms[mangle(name)].emplace_back(labels, hist);
+    }
+  };
+
+  for (ProcessId pid : cluster.process_ids()) {
+    collect(cluster.process(pid).metrics(),
+            "process=\"" + rgc::to_string(pid) + "\"");
+  }
+  collect(cluster.network().metrics(), {});
+  collect(cluster.auditor().metrics(), {});
+  collect(cluster.profile(), {});
+
+  // A histogram family claims its name plus the _bucket/_sum/_count
+  // suffixes; a scalar family with the same base name would produce a
+  // second TYPE line for it.  Rename scalars out of the way.  The same
+  // guard covers a counter and a gauge sharing one name.
+  const auto disambiguate = [&](ScalarFamilies& fams,
+                                const ScalarFamilies& against) {
+    std::vector<std::string> clashing;
+    for (const auto& [name, samples] : fams) {
+      if (histograms.contains(name) || against.contains(name)) {
+        clashing.push_back(name);
+      }
+    }
+    for (const std::string& name : clashing) {
+      auto node = fams.extract(name);
+      node.key() = name + "_value";
+      fams.insert(std::move(node));
+    }
+  };
+  disambiguate(gauges, counters);
+  disambiguate(counters, {});
+
+  for (const auto& [name, samples] : counters) {
+    emit_scalar(os, name, "counter", samples);
+  }
+  for (const auto& [name, samples] : gauges) {
+    emit_scalar(os, name, "gauge", samples);
+  }
+  for (const auto& [name, samples] : histograms) {
+    emit_histogram(os, name, samples);
+  }
+}
+
+std::string to_prometheus(const core::Cluster& cluster) {
+  std::ostringstream os;
+  write_prometheus(cluster, os);
+  return os.str();
+}
+
+}  // namespace rgc::obs

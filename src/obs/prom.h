@@ -1,0 +1,34 @@
+// Prometheus text exposition (format v0.0.4) for a whole cluster.
+//
+// util::Metrics::to_prometheus serializes one registry; a cluster has many
+// (one per process, the network's, the auditor's, the profiling registry).
+// Naively concatenating them would emit duplicate `# TYPE` headers — invalid
+// exposition — so this writer groups samples into metric *families* first:
+// the same counter on every process becomes one family with one TYPE line
+// and a `process="P3"` label per sample.
+//
+//   rgc_lgc_reclaimed{process="P0"} 812
+//   rgc_lgc_reclaimed{process="P1"} 790
+//
+// Collisions between a histogram family and a like-named counter/gauge
+// (e.g. net.queue_depth is both a gauge and a per-step histogram) are
+// resolved by suffixing the scalar family with `_value`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace rgc::core {
+class Cluster;
+}  // namespace rgc::core
+
+namespace rgc::obs {
+
+/// Writes every registry of `cluster` (processes, network, auditor,
+/// profiling) as one Prometheus exposition document.
+void write_prometheus(const core::Cluster& cluster, std::ostream& os);
+
+/// Convenience: write_prometheus into a string (tests, --prom-out).
+[[nodiscard]] std::string to_prometheus(const core::Cluster& cluster);
+
+}  // namespace rgc::obs

@@ -94,7 +94,10 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
     counters_.stubs_created.inc();
   }
 
-  heap_.put(msg.object, std::move(bound), msg.payload_bytes);
+  // A fresh propagate means the parent still holds us reachable; Heap::put
+  // reuses the existing node, so any floating-garbage stamp must be
+  // cleared explicitly.
+  heap_.put(msg.object, std::move(bound), msg.payload_bytes).unlinked_at = 0;
 
   InProp* ip = find_in_prop(msg.object, env.src);
   if (ip == nullptr) {

@@ -51,6 +51,16 @@ struct Object {
   /// the object becomes locally unreachable.
   bool finalizable{false};
 
+  /// Step at which this replica (as far as the local process can tell) last
+  /// became unreferenced — stamped by the mutator hooks on the removal that
+  /// orphaned it and by the health auditor's deep scan, cleared whenever a
+  /// reference or replica update re-links it.  Zero means "not known to be
+  /// unlinked".  Feeds the gc.reclaim_latency_steps histogram (reclaim step
+  /// minus this stamp = how long the garbage floated).  Mutable for the same
+  /// reason as the mark state: the auditor maintains it during a logically
+  /// read-only scan.
+  mutable std::uint64_t unlinked_at{0};
+
   /// Intrusive mark state for the LGC (epoch-validated, so no per-collection
   /// reset pass and no side-table allocations).  `mark_bits` holds the
   /// kReach* mask for the collection identified by `mark_epoch`; bits from

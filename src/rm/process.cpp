@@ -56,6 +56,9 @@ void Process::add_ref(ObjectId from, ObjectId to) {
   }
   src->add_ref(ref);
   counters_.ref_assignments.inc();
+  // Re-linked: the target is referenced again, so any floating-garbage
+  // clock started for it is stale.
+  if (Object* obj = heap_.find(to)) obj->unlinked_at = 0;
 }
 
 void Process::remove_ref(ObjectId from, ObjectId to) {
@@ -66,6 +69,13 @@ void Process::remove_ref(ObjectId from, ObjectId to) {
   }
   src->remove_ref(to);
   counters_.ref_removals.inc();
+  // Start the floating-garbage clock: this removal *may* have orphaned the
+  // target.  Over-approximate here (the target can still be reachable
+  // through other paths); the deep audit clears stamps on objects a mark
+  // proves reachable, and re-linking clears them in add_ref/add_root.
+  if (Object* obj = heap_.find(to)) {
+    if (obj->unlinked_at == 0) obj->unlinked_at = network_->now();
+  }
 }
 
 void Process::add_root(ObjectId target) {
@@ -74,9 +84,15 @@ void Process::add_root(ObjectId target) {
                            " is not resolvable on " + to_string(id_));
   }
   heap_.add_root(target);
+  if (Object* obj = heap_.find(target)) obj->unlinked_at = 0;
 }
 
-void Process::remove_root(ObjectId target) { heap_.remove_root(target); }
+void Process::remove_root(ObjectId target) {
+  heap_.remove_root(target);
+  if (Object* obj = heap_.find(target)) {
+    if (obj->unlinked_at == 0) obj->unlinked_at = network_->now();
+  }
+}
 
 std::vector<StubKey> Process::stubs_for(ObjectId target) const {
   std::vector<StubKey> out;

@@ -13,6 +13,7 @@
 // the cycle detector's race barrier (§3.5).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -49,6 +50,15 @@ struct ProcessCounters {
   util::Counter lgc_reclaimed;
 
   explicit ProcessCounters(util::Metrics& metrics);
+};
+
+/// One recently-reclaimed replica, recorded by the LGC sweep for the health
+/// auditor's reclaim-safety sampling (a dangling reference found by a deep
+/// audit is attributed to the reclaim that severed it when it is still in
+/// the ring).
+struct ReclaimRecord {
+  ObjectId object{kNoObject};
+  std::uint64_t at_step{0};
 };
 
 /// Per-process scratch buffers for the LGC's epoch marking: the BFS
@@ -215,6 +225,26 @@ class Process {
     return newsetstubs_epochs_;
   }
 
+  // ---- Reclaim history (health auditor) --------------------------------
+
+  static constexpr std::size_t kReclaimRing = 64;
+
+  /// Records a reclaim into the fixed ring (oldest entry overwritten).
+  void note_reclaimed(ObjectId id, std::uint64_t step) noexcept {
+    reclaim_ring_[reclaim_ring_next_] = ReclaimRecord{id, step};
+    reclaim_ring_next_ = (reclaim_ring_next_ + 1) % kReclaimRing;
+    ++reclaims_noted_;
+  }
+  [[nodiscard]] const std::array<ReclaimRecord, kReclaimRing>& reclaim_ring()
+      const noexcept {
+    return reclaim_ring_;
+  }
+  /// Total reclaims ever recorded; min(reclaims_noted, kReclaimRing) ring
+  /// entries are valid.
+  [[nodiscard]] std::uint64_t reclaims_noted() const noexcept {
+    return reclaims_noted_;
+  }
+
   /// Per-process counters: "rm.propagations", "rm.invocations", ...
   [[nodiscard]] const util::Metrics& metrics() const noexcept { return metrics_; }
   util::Metrics& metrics() noexcept { return metrics_; }
@@ -275,6 +305,9 @@ class Process {
   std::map<ProcessId, std::uint64_t> delivered_prop_seq_;
   std::set<ProcessId> stub_peers_;
   std::uint64_t collection_epoch_{0};
+  std::array<ReclaimRecord, kReclaimRing> reclaim_ring_{};
+  std::size_t reclaim_ring_next_{0};
+  std::uint64_t reclaims_noted_{0};
   std::map<ProcessId, std::uint64_t> newsetstubs_epochs_;
   util::Metrics metrics_;
   ProcessCounters counters_{metrics_};

@@ -15,9 +15,12 @@
 
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rgc::util {
@@ -105,7 +108,13 @@ class Histogram {
     return i <= 1 ? i : 1ull << (i - 1);
   }
 
-  /// "count=5 min=1 max=9 mean=4.20" — report rendering.
+  /// Quantile estimate from the log2 buckets: upper bound of the bucket
+  /// holding the rank-`ceil(q*count)` sample, clamped to [min, max].  Exact
+  /// for distributions narrower than one bucket; within 2x otherwise —
+  /// plenty for SLO-style p50/p90/p99 readouts.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+  /// "count=5 min=1 max=9 mean=4.20 p50=4 p90=8 p99=9" — report rendering.
   [[nodiscard]] std::string to_string() const;
 
  private:
@@ -147,10 +156,40 @@ class Metrics {
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> gauge_snapshot() const;
   [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histogram_snapshot() const;
 
+  /// Prometheus text exposition (v0.0.4) of this registry: counters as
+  /// `counter`, gauges as `gauge`, histograms as cumulative-`le` bucket
+  /// families with `_sum`/`_count`.  Names are mangled to
+  /// `rgc_<name with non-alnum -> '_'>`; `labels` (e.g. `process="P0"`) is
+  /// spliced verbatim into every sample's label set.
+  void to_prometheus(std::ostream& os, std::string_view labels = {}) const;
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::uint64_t> gauges_;
   std::map<std::string, Histogram> histograms_;
+};
+
+/// Records elapsed wall-clock microseconds into a histogram on destruction;
+/// no-op when constructed with nullptr.  Wall times are nondeterministic by
+/// nature, so profiling histograms must live in registries excluded from
+/// deterministic reports (see core::Cluster::profile()).
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* hist) noexcept : hist_(hist) {
+    if (hist_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimerUs() {
+    if (hist_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0_);
+    hist_->record(static_cast<std::uint64_t>(us.count()));
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 }  // namespace rgc::util

@@ -1,7 +1,13 @@
 // Chaos tests: everything at once — random mutation, the background GC
 // daemon, fault injection (loss, duplication, jitter) — with the oracle
 // checking safety after every burst and completeness at the end.
+//
+// scripts/check.sh re-runs these with RGC_CHAOS_AUDIT=1 (audit every step)
+// and RGC_CHAOS_THREADS=4 so the online health auditor rides along under
+// both sanitizers; any auditor ERROR fails the run.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "core/daemon.h"
 #include "core/oracle.h"
@@ -15,6 +21,19 @@ using core::Cluster;
 using core::ClusterConfig;
 using core::GcDaemon;
 using core::Oracle;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// CI overrides: RGC_CHAOS_THREADS picks the worker-pool width,
+/// RGC_CHAOS_AUDIT the scheduled audit cadence (1 = every step).
+void apply_env_overrides(ClusterConfig& cfg) {
+  cfg.threads = static_cast<std::size_t>(env_u64("RGC_CHAOS_THREADS", 1));
+  cfg.audit_interval = env_u64("RGC_CHAOS_AUDIT", cfg.audit_interval);
+}
 
 struct ChaosCase {
   std::uint64_t seed;
@@ -37,6 +56,7 @@ TEST_P(Chaos, SafetyUnderEverything) {
   cfg.net.max_delay = param.max_delay;
   cfg.candidates = param.policy;
   cfg.candidate_threshold = 2;
+  apply_env_overrides(cfg);
   Cluster cluster{cfg};
   for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
 
@@ -55,6 +75,10 @@ TEST_P(Chaos, SafetyUnderEverything) {
     ASSERT_TRUE(report.violations.empty())
         << "seed " << param.seed << " burst " << burst << ": "
         << report.violations.front();
+    const auto& health = cluster.audit();
+    ASSERT_EQ(health.errors(), 0u)
+        << "seed " << param.seed << " burst " << burst << "\n"
+        << health.to_string();
   }
 }
 
@@ -68,6 +92,7 @@ TEST_P(Chaos, EventualCompletenessOnceQuiet) {
   cfg.net.max_delay = param.max_delay;
   cfg.candidates = param.policy;
   cfg.candidate_threshold = 2;
+  apply_env_overrides(cfg);
   Cluster cluster{cfg};
   for (std::size_t i = 0; i < param.processes; ++i) cluster.add_process();
 
@@ -85,6 +110,9 @@ TEST_P(Chaos, EventualCompletenessOnceQuiet) {
     done = report.garbage_objects().empty();
   }
   EXPECT_TRUE(done) << "seed " << param.seed;
+  const auto& health = cluster.audit();
+  EXPECT_EQ(health.errors(), 0u) << "seed " << param.seed << "\n"
+                                 << health.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(
