@@ -30,6 +30,7 @@
 #include "gc/lgc/lgc.h"
 #include "net/network.h"
 #include "rm/process.h"
+#include "workload/figures.h"
 #include "workload/mesh.h"
 
 // ---- Global allocation counter ---------------------------------------------
@@ -204,6 +205,161 @@ void bench_full_gc() {
       .field("identical", identical ? 1 : 0);
 }
 
+// ---- Summarization section -------------------------------------------------
+
+/// One process holding a dense local mesh plus a band of scions, stubs and
+/// replicas — the seed count is what made the per-seed-trace reference
+/// summarizer O(seeds × graph).  Returns the process id carrying the load.
+ProcessId build_summarize_workload(core::Cluster& cluster) {
+  constexpr std::uint64_t kSumObjects = 20000;
+  constexpr std::uint64_t kBand = 40;  // scions, stubs and replicas each
+  static constexpr std::uint64_t kStrides[] = {1, 7, 31, 107};
+
+  const ProcessId p0 = cluster.add_process();
+  const ProcessId p1 = cluster.add_process();
+
+  // The same fully-cyclic strided mesh as bench_trace — one giant SCC, so
+  // the condensation path gets no free lunch from trivial components.
+  std::vector<ObjectId> mesh;
+  mesh.reserve(kSumObjects);
+  for (std::uint64_t i = 0; i < kSumObjects; ++i) {
+    mesh.push_back(cluster.new_object(p0));
+  }
+  for (std::uint64_t i = 0; i < kSumObjects; ++i) {
+    rm::Object* obj = cluster.process(p0).heap().find(mesh[i]);
+    for (std::uint64_t s : kStrides) {
+      obj->refs.push_back(rm::Ref{mesh[(i + s) % kSumObjects], kNoProcess});
+    }
+  }
+  cluster.add_root(p0, mesh[0]);
+
+  const std::uint64_t spread = kSumObjects / kBand;
+  for (std::uint64_t k = 0; k < kBand; ++k) {
+    const ObjectId at = mesh[k * spread];
+    // Replica: a mesh object propagated out (in/out props on p0).
+    cluster.propagate(at, p0, p1);
+    // Stub: a p1-owned object remote-referenced from the mesh.
+    const ObjectId remote = cluster.new_object(p1);
+    cluster.add_root(p1, remote);
+    workload::make_remote_ref(cluster, p0, at, p1, remote);
+    // Scion: a p1 holder remote-referencing into the mesh.
+    workload::make_remote_ref(cluster, p1, remote, p0, mesh[k * spread + 1]);
+  }
+  cluster.run_until_quiescent();
+  return p0;
+}
+
+void bench_summarize() {
+  constexpr int kSumRuns = 5;
+  core::ClusterConfig cfg;
+  cfg.net.seed = 11;
+  core::Cluster cluster{cfg};
+  const ProcessId p0 = build_summarize_workload(cluster);
+  const rm::Process& proc = cluster.process(p0);
+
+  // Cold snapshot: one-pass SCC summarizer vs the retained per-seed
+  // reference, identical output required.
+  gc::ProcessSummary fast = gc::summarize(proc);        // warm-up + scratch
+  gc::ProcessSummary ref = gc::summarize_reference(proc);
+  const bool identical = fast == ref;
+
+  const auto r0 = Clock::now();
+  for (int i = 0; i < kSumRuns; ++i) ref = gc::summarize_reference(proc);
+  const double ref_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - r0).count() /
+      kSumRuns;
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  const auto f0 = Clock::now();
+  for (int i = 0; i < kSumRuns; ++i) fast = gc::summarize(proc);
+  const double fast_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - f0).count() /
+      kSumRuns;
+  const std::uint64_t allocs_per = (g_allocs.load() - allocs_before) / kSumRuns;
+  const double speedup = fast_ms > 0 ? ref_ms / fast_ms : 0;
+
+  // Warm re-snapshot: nothing mutated between rounds, so the dirty-epoch
+  // cache must make the second snapshot_all round practically free.
+  cluster.snapshot_all();
+  const auto w0 = Clock::now();
+  cluster.snapshot_all();
+  const double warm_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - w0).count();
+  const std::uint64_t reused = cluster.metric_total("cycle.summarize_reused");
+
+  std::printf("\nlgc_hotpath.summarize  scions=%zu stubs=%zu replicas=%zu\n",
+              fast.scions.size(), fast.stubs.size(), fast.replicas.size());
+  std::printf("  cold: reference %.2f ms, one-pass %.2f ms — %.1fx"
+              " (%llu allocs/run)\n",
+              ref_ms, fast_ms, speedup,
+              static_cast<unsigned long long>(allocs_per));
+  std::printf("  warm re-snapshot (all clean): %.0f us, %llu summaries reused\n",
+              warm_us, static_cast<unsigned long long>(reused));
+  std::printf("  identical output: %s\n", identical ? "yes" : "NO — BUG");
+
+  bench::RunRecord rec{"lgc_hotpath.summarize"};
+  rec.field("scions", fast.scions.size())
+      .field("stubs", fast.stubs.size())
+      .field("replicas", fast.replicas.size())
+      .field("reference_ms", ref_ms)
+      .field("one_pass_ms", fast_ms)
+      .field("speedup", speedup)
+      .field("allocs_per_run", allocs_per)
+      .field("warm_resnapshot_us", warm_us)
+      .field("identical", identical ? 1 : 0);
+}
+
+/// Dirty-fraction sweep: a 16-process cluster where only a fraction of the
+/// processes mutate between snapshot rounds.  Cost should scale with the
+/// dirty fraction, not the cluster size.
+void bench_summarize_dirty_sweep() {
+  constexpr std::uint64_t kBallast = 10000;
+  constexpr std::size_t kProcs = 16;
+  core::ClusterConfig cfg;
+  cfg.net.seed = 23;
+  core::Cluster cluster{cfg};
+  std::vector<ObjectId> heads;
+  for (std::size_t p = 0; p < kProcs; ++p) {
+    const ProcessId pid = cluster.add_process();
+    ObjectId prev = cluster.new_object(pid);
+    cluster.add_root(pid, prev);
+    heads.push_back(prev);
+    for (std::uint64_t i = 1; i < kBallast; ++i) {
+      const ObjectId next = cluster.new_object(pid);
+      cluster.add_ref(pid, prev, next);
+      prev = next;
+    }
+  }
+  cluster.run_until_quiescent();
+  cluster.snapshot_all();  // populate every cache
+
+  std::printf("\nlgc_hotpath.summarize_dirty  processes=%zu"
+              " objects_per_process=%llu\n",
+              kProcs, static_cast<unsigned long long>(kBallast));
+  bench::RunRecord rec{"lgc_hotpath.summarize_dirty"};
+  rec.field("processes", kProcs).field("objects_per_process", kBallast);
+
+  const std::vector<ProcessId> pids = cluster.process_ids();
+  for (const std::size_t dirty : {std::size_t{0}, kProcs / 4, kProcs / 2, kProcs}) {
+    // Touch a root on the first `dirty` processes: epoch bump, no
+    // structural change, so snapshot work is purely re-summarization.
+    for (std::size_t p = 0; p < dirty; ++p) {
+      cluster.add_root(pids[p], heads[p]);
+    }
+    const auto t0 = Clock::now();
+    cluster.snapshot_all();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const auto gauge = cluster.network().metrics().gauge_value(
+        "cycle.summary_dirty_fraction");
+    std::printf("  dirty %2zu/%zu: %.2f ms (gauge %llu%%)\n", dirty, kProcs,
+                ms, static_cast<unsigned long long>(gauge));
+    char field[32];
+    std::snprintf(field, sizeof(field), "dirty_%zu_of_%zu_ms", dirty, kProcs);
+    rec.field(field, ms);
+  }
+}
+
 // ---- Auditor overhead section ----------------------------------------------
 
 struct AuditedRun {
@@ -311,6 +467,8 @@ void bench_audit() {
 int main() {
   std::printf("LGC hot path: trace throughput & allocation profile\n\n");
   bench_trace();
+  bench_summarize();
+  bench_summarize_dirty_sweep();
   bench_full_gc();
   bench_audit();
   return 0;

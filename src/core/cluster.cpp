@@ -151,9 +151,15 @@ gc::LgcResult Cluster::collect(ProcessId id) {
 
   // Candidate heuristics digest every collection regardless of policy —
   // the distance announcements cost a few bytes on traffic that flows
-  // anyway, and tests/benches can inspect either tracker.
+  // anyway, and tests/benches can inspect either tracker.  The post-sweep
+  // summary goes through the same dirty-epoch cache as collect_round(),
+  // keeping the two paths metric-for-metric equivalent.
   node.distance->prune(proc);
-  const auto announcements = node.distance->after_collection(proc, result);
+  std::vector<Node*> just_this{&node};
+  std::vector<gc::ProcessSummary> summaries;
+  summarize_all(just_this, summaries, &profile_.histogram("lgc.summarize_us"));
+  const auto announcements =
+      node.distance->after_collection(proc, result, &summaries[0]);
   node.suspicion->after_collection(proc, result);
 
   gc::Adgc::after_collection(proc, result, &announcements);
@@ -206,14 +212,10 @@ std::uint64_t Cluster::collect_round() {
 
   // Phase 3 — post-sweep summaries for the distance heuristic (read-only,
   // parallel; this is what made the serial round O(heap) per process even
-  // when nothing was garbage).
+  // when nothing was garbage).  Nodes whose mutation epoch is unchanged
+  // since their last summary reuse it outright.
   std::vector<gc::ProcessSummary> summaries(n);
-  {
-    util::ScopedTimerUs timer{&profile_.histogram("lgc.summarize_us")};
-    pool().parallel_for(n, [&](std::size_t i) {
-      summaries[i] = gc::summarize(*nodes[i]->process);
-    });
-  }
+  summarize_all(nodes, summaries, &profile_.histogram("lgc.summarize_us"));
 
   // Phase 4 — heuristic digests + ADGC protocol messages (sends traffic:
   // serial, pid order — exactly the send order of the serial path).
@@ -231,6 +233,54 @@ std::uint64_t Cluster::collect_round() {
 
 void Cluster::collect_all() { collect_round(); }
 
+void Cluster::summarize_all(const std::vector<Node*>& nodes,
+                            std::vector<gc::ProcessSummary>& summaries,
+                            util::Histogram* timer_hist) {
+  const std::size_t n = nodes.size();
+  summaries.resize(n);
+  std::vector<std::uint8_t> reused(n, 0);
+  {
+    util::ScopedTimerUs timer{timer_hist};
+    pool().parallel_for(n, [&](std::size_t i) {
+      Node& nd = *nodes[i];
+      const rm::Process& proc = *nd.process;
+      if (nd.summary_cache_valid &&
+          nd.summary_cache.mutation_epoch == proc.mutation_epoch()) {
+        // Same epoch ⇒ no summary-relevant mutation since the cached
+        // summary was computed ⇒ a fresh summarize() would reproduce it
+        // bit for bit, only with a newer timestamp.
+        nd.summary_cache.taken_at = net_.now();
+        summaries[i] = nd.summary_cache;
+        reused[i] = 1;
+      } else {
+        summaries[i] = gc::summarize(proc);
+        nd.summary_cache = summaries[i];
+        nd.summary_cache_valid = true;
+      }
+    });
+  }
+  // Metrics land serially so counter order is thread-count independent
+  // (the reuse decision itself is epoch-based and thus deterministic).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reused[i] != 0) {
+      nodes[i]->process->metrics().add("cycle.summarize_reused");
+    }
+    nodes[i]->last_summary_fresh = reused[i] == 0;
+  }
+  update_dirty_gauge();
+}
+
+void Cluster::update_dirty_gauge() {
+  if (nodes_.empty()) return;
+  std::size_t fresh = 0;
+  for (const auto& [pid, node] : nodes_) {
+    if (node.last_summary_fresh) ++fresh;
+  }
+  net_.metrics()
+      .gauge("cycle.summary_dirty_fraction")
+      .set(fresh * 100 / nodes_.size());
+}
+
 void Cluster::snapshot_all() {
   TRACE_SPAN("cluster.snapshot_all");
   std::vector<ProcessId> pids;
@@ -243,15 +293,11 @@ void Cluster::snapshot_all() {
   }
   const std::size_t n = nodes.size();
 
-  // Summarize concurrently (read-only per process), install serially so
-  // detector bookkeeping, metrics, and trace spans land in pid order.
+  // Summarize concurrently (read-only per process, dirty-epoch reuse for
+  // quiescent ones), install serially so detector bookkeeping, metrics,
+  // and trace spans land in pid order.
   std::vector<gc::ProcessSummary> summaries(n);
-  {
-    util::ScopedTimerUs timer{&profile_.histogram("cycle.summarize_us")};
-    pool().parallel_for(n, [&](std::size_t i) {
-      summaries[i] = gc::summarize(*nodes[i]->process);
-    });
-  }
+  summarize_all(nodes, summaries, &profile_.histogram("cycle.summarize_us"));
   util::ScopedTimerUs install_timer{&profile_.histogram("cycle.install_us")};
   for (std::size_t i = 0; i < n; ++i) {
     util::ScopedProcess ctx{pids[i]};

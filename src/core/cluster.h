@@ -213,6 +213,17 @@ class Cluster {
     std::unique_ptr<gc::BaselineDetector> baseline;
     std::unique_ptr<gc::DistanceHeuristic> distance;
     std::unique_ptr<gc::SuspicionAgeTracker> suspicion;
+    /// Dirty-epoch snapshot reuse: the last summary computed for this
+    /// process (its mutation_epoch field records the epoch it captured).
+    /// summarize_all() hands it out verbatim — only the timestamp moves —
+    /// while the live process's epoch still matches, so a quiescent
+    /// process costs O(1) per snapshot round instead of a summarization.
+    gc::ProcessSummary summary_cache;
+    bool summary_cache_valid{false};
+    /// Whether the most recent summarization of this node had to run fresh
+    /// (true) or reused the cache (false).  Feeds the cluster-wide
+    /// cycle.summary_dirty_fraction gauge.
+    bool last_summary_fresh{true};
   };
 
   /// Candidates for one process's detection sweep under the configured
@@ -224,6 +235,21 @@ class Cluster {
   /// parallel mark, serial apply, parallel summarize, serial protocol
   /// digest.  Returns the number of objects reclaimed.
   std::uint64_t collect_round();
+
+  /// Summarizes every node into `summaries` (parallel when threads > 1),
+  /// reusing each node's cached summary when its process's mutation epoch
+  /// is unchanged.  Serially records "cycle.summarize_reused" per reused
+  /// node and the "cycle.summary_dirty_fraction" gauge (percent of nodes
+  /// that needed a fresh summarization).
+  void summarize_all(const std::vector<Node*>& nodes,
+                     std::vector<gc::ProcessSummary>& summaries,
+                     util::Histogram* timer_hist);
+
+  /// Recomputes the cycle.summary_dirty_fraction gauge (percent of nodes
+  /// whose latest summarization ran fresh) from the per-node freshness
+  /// flags — over *all* nodes, so the per-process collect() path and the
+  /// phased collect_round() converge to the same value.
+  void update_dirty_gauge();
 
   /// Worker pool for the read-only phases, created on first use.
   util::ThreadPool& pool();

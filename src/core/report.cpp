@@ -54,6 +54,13 @@ ClusterReport make_report(const Cluster& cluster) {
     // cluster.quiescence_timeout) surface alongside the GC counters.
     if (value != 0 && name.starts_with("cluster.")) gc_totals[name] += value;
   }
+  // Cluster-level gauges (e.g. cycle.summary_dirty_fraction) ride along in
+  // the same table; last-set value, not a sum.
+  for (const auto& [name, value] : cluster.network().metrics().gauge_snapshot()) {
+    if (value != 0 && (name.starts_with("cycle.") || name.starts_with("cluster."))) {
+      gc_totals[name] = value;
+    }
+  }
   report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
   for (const auto& [name, hist] :
        cluster.network().metrics().histogram_snapshot()) {

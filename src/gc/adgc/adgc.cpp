@@ -92,6 +92,7 @@ void Adgc::after_collection(
       msg->uc = e.uc;
       net.send(self, e.process, std::move(msg));
       e.sent_umess = true;
+      process.note_mutation();
       process.metrics().add("adgc.unreachable_sent");
       if (trace.enabled()) {
         trace.instant("adgc.unreachable", self, 0, false,
@@ -127,6 +128,7 @@ void Adgc::after_collection(
                                   return e.object == obj;
                                 }),
                  outs.end());
+      process.note_mutation();
       RGC_DEBUG("adgc: ", to_string(self), " reclaims propagation tree of ",
                 to_string(obj));
     }
@@ -164,6 +166,7 @@ void Adgc::on_new_set_stubs(rm::Process& process, const net::Envelope& env,
       RGC_DEBUG("adgc: ", to_string(process.id()), " drops scion for ",
                 to_string(it->first.anchor), " from ", to_string(env.src));
       it = scions.erase(it);
+      process.note_mutation();
     } else {
       ++it;
     }
@@ -180,7 +183,10 @@ void Adgc::on_unreachable(rm::Process& process, const net::Envelope& env,
     process.metrics().add("adgc.unreachable_stale");
     return;
   }
-  e->rec_umess = true;
+  if (!e->rec_umess) {
+    e->rec_umess = true;
+    process.note_mutation();
+  }
   process.metrics().add("adgc.unreachable_received");
 }
 
@@ -188,11 +194,13 @@ void Adgc::on_reclaim(rm::Process& process, const net::Envelope& env,
                       const ReclaimMsg& msg) {
   const ObjectId obj = msg.object;
   auto& ins = process.in_props();
+  const std::size_t ins_before = ins.size();
   ins.erase(std::remove_if(ins.begin(), ins.end(),
                            [&](const rm::InProp& e) {
                              return e.object == obj && e.process == env.src;
                            }),
             ins.end());
+  if (ins.size() != ins_before) process.note_mutation();
 
   // Forward down the tree only when nothing else anchors the replica here:
   // another parent still linked keeps the subtree in place.
@@ -216,11 +224,13 @@ void Adgc::on_reclaim(rm::Process& process, const net::Envelope& env,
     process.metrics().add("adgc.reclaim_forwarded");
   }
   auto& outs = process.out_props();
+  const std::size_t outs_before = outs.size();
   outs.erase(std::remove_if(outs.begin(), outs.end(),
                             [obj](const rm::OutProp& e) {
                               return e.object == obj;
                             }),
              outs.end());
+  if (outs.size() != outs_before) process.note_mutation();
   process.metrics().add("adgc.reclaim_received");
   RGC_DEBUG("adgc: ", to_string(process.id()), " unlinked replica ",
             to_string(obj), " after Reclaim from ", to_string(env.src));

@@ -582,6 +582,7 @@ void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
       continue;
     }
     scions.erase(it);
+    process_.note_mutation();
     process_.metrics().add("cycle.scions_cut");
   }
   for (const auto& [parent, expected_uc] : msg.prop_cuts) {
@@ -602,6 +603,7 @@ void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
     cut->object = msg.candidate;
     cut->expected_uc = expected_uc;
     process_.network().send(process_.id(), parent, std::move(cut));
+    process_.note_mutation();
     process_.metrics().add("cycle.props_cut");
   }
 }
@@ -616,6 +618,7 @@ void CycleDetector::on_prop_cut(const net::Envelope& env, const PropCutMsg& msg)
                                      x.process == env.src;
                             }),
              outs.end());
+  process_.note_mutation();
   process_.metrics().add("cycle.outprops_cut");
 }
 

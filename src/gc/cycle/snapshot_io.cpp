@@ -7,7 +7,7 @@ namespace rgc::gc {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x52474353;  // "RGCS"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;  // v3: + mutation_epoch after taken_at
 
 // ---- encoding --------------------------------------------------------------
 
@@ -110,6 +110,7 @@ std::string encode_summary(const ProcessSummary& s) {
   put_u32(out, kVersion);
   put_process(out, s.process);
   put_u64(out, s.taken_at);
+  put_u64(out, s.mutation_epoch);
 
   put_u32(out, static_cast<std::uint32_t>(s.scions.size()));
   for (const auto& [key, sc] : s.scions) {
@@ -160,6 +161,7 @@ std::optional<ProcessSummary> decode_summary(const std::string& bytes) {
   ProcessSummary s;
   s.process = r.process();
   s.taken_at = r.u64();
+  s.mutation_epoch = r.u64();
 
   const auto read_scion_keys = [&r](util::FlatSet<rm::ScionKey>& out) {
     const std::uint32_t n = r.count(12);
@@ -225,6 +227,7 @@ std::optional<ProcessSummary> decode_summary(const std::string& bytes) {
   }
 
   if (!r.ok || r.at != bytes.size()) return std::nullopt;
+  s.rebuild_anchor_index();
   return s;
 }
 

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <vector>
 
 #include "rm/process.h"
 #include "rm/tables.h"
@@ -107,24 +109,58 @@ struct ProcessSummary {
   ProcessId process{kNoProcess};
   /// Simulation step the snapshot was taken at.
   std::uint64_t taken_at{0};
+  /// Process mutation epoch the snapshot captures (rm::Process::
+  /// mutation_epoch at summarize time).  Snapshot identity metadata: the
+  /// cluster reuses an installed summary verbatim while the live process's
+  /// epoch still matches.
+  std::uint64_t mutation_epoch{0};
   std::map<rm::ScionKey, ScionSummary> scions;
   std::map<rm::StubKey, StubSummary> stubs;
   /// Keyed by object id; contains every locally replicated object (one
   /// with at least one inProp or outProp entry).
   std::map<ObjectId, ReplicaSummary> replicas;
 
-  /// All scions anchored at `obj` (ScionKey orders by src_process first, so
-  /// a linear scan filtered by anchor is used; anchor counts are tiny).
-  [[nodiscard]] std::vector<rm::ScionKey> scions_anchored_at(ObjectId obj) const;
+  /// Anchor index: every scion key, sorted by (anchor, src_process) — the
+  /// opposite of ScionKey's natural order — so anchor-filtered lookups on
+  /// the detection hot path are a binary search instead of a full-table
+  /// scan.  Derived from `scions` (rebuilt lazily when stale), excluded
+  /// from comparison and serialization.
+  mutable std::vector<rm::ScionKey> anchor_index;
 
-  friend bool operator==(const ProcessSummary&,
-                         const ProcessSummary&) = default;
+  /// All scions anchored at `obj`; the returned span points into
+  /// `anchor_index` and is invalidated by any mutation of the summary.
+  [[nodiscard]] std::span<const rm::ScionKey> scions_anchored_at(
+      ObjectId obj) const;
+
+  /// Rebuilds `anchor_index` from `scions`.  scions_anchored_at re-indexes
+  /// lazily when the sizes diverge; call this explicitly after in-place
+  /// edits that keep the scion count unchanged.
+  void rebuild_anchor_index() const;
+
+  friend bool operator==(const ProcessSummary& a, const ProcessSummary& b) {
+    return a.process == b.process && a.taken_at == b.taken_at &&
+           a.mutation_epoch == b.mutation_epoch && a.scions == b.scions &&
+           a.stubs == b.stubs && a.replicas == b.replicas;
+  }
 };
 
 /// Serializes the process's graph and summarizes it (§3.5.1).  In the
 /// paper this runs lazily off the mutator thread; in the simulator it is an
 /// atomic step, which is strictly *more* adversarial for the race barrier
 /// (snapshots are maximally independent across processes).
+///
+/// One-pass implementation: a single root trace, then an iterative Tarjan
+/// condensation of the seed-reachable subgraph and per-SCC seed bitsets
+/// propagated over the condensation DAG — O(graph + seeds·stubs/64)
+/// instead of one full trace per scion/replica, with zero steady-state
+/// scratch allocations (rm::SummarizeScratch).  Output is bit-for-bit
+/// identical to summarize_reference.
 [[nodiscard]] ProcessSummary summarize(const rm::Process& process);
+
+/// The original per-seed-trace summarizer, kept verbatim as the executable
+/// specification: tests differential-check summarize() against it and the
+/// benchmark uses it as the cold-snapshot baseline.  Not for production
+/// call sites — it is O(seeds × local-graph).
+[[nodiscard]] ProcessSummary summarize_reference(const rm::Process& process);
 
 }  // namespace rgc::gc

@@ -181,6 +181,11 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
     }
   }
 
+  // Sweep outcomes change the snapshot summary (objects gone, finalizers
+  // resurrected state); stub drops already note through erase_stub.
+  if (!result.reclaimed.empty() || result.resurrected != 0) {
+    process.note_mutation();
+  }
   process.counters().lgc_collections.inc();
   process.counters().lgc_reclaimed.inc(result.reclaimed.size());
   process.metrics().histogram("lgc.reclaimed_per_collection")

@@ -47,6 +47,9 @@ void Process::propagate(ObjectId object, ProcessId to) {
   // causal order scion-before-stub.
   export_references(*obj, to, seq);
   counters_.propagations.inc();
+  // UC bump, rec_umess reset and scion creation/refresh all change the
+  // summary this process would snapshot.
+  note_mutation();
   RGC_DEBUG("rm: ", to_string(id_), " propagate ", to_string(object), " -> ",
             to_string(to), " uc=", op->uc);
 }
@@ -109,6 +112,7 @@ void Process::on_propagate(const net::Envelope& env, const PropagateMsg& msg) {
     ip->sent_umess = false;
   }
   counters_.propagations_delivered.inc();
+  note_mutation();
   RGC_DEBUG("rm: ", to_string(id_), " delivered replica ",
             to_string(msg.object), " from ", to_string(env.src));
 }
@@ -130,9 +134,11 @@ void Process::invoke(ObjectId target, std::uint32_t root_steps) {
   msg->root_steps = root_steps;
   network_->send(id_, stub.key.target_process, std::move(msg));
 
-  // The caller holds the reference in a register for the call's duration.
+  // The caller holds the reference in a register for the call's duration
+  // (pin_transient_root notes the mutation; the IC bump needs its own).
   pin_transient_root(target, root_steps);
   counters_.invocations.inc();
+  note_mutation();
 }
 
 void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
@@ -149,6 +155,7 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
   // (or while it forwards the call further down the chain).
   pin_transient_root(msg.target, msg.root_steps);
   counters_.invocations_delivered.inc();
+  note_mutation();  // scion IC adopted msg.ic
 
   if (!heap_.contains(msg.target)) {
     // SSP chains (§2.2.4): the scion's anchor is not local — this node is

@@ -32,6 +32,7 @@ Object& Process::create_object(ObjectId id, std::uint32_t payload_bytes) {
                            " already exists on " + to_string(id_));
   }
   counters_.objects_created.inc();
+  note_mutation();
   return heap_.put(id, {}, payload_bytes);
 }
 
@@ -56,6 +57,7 @@ void Process::add_ref(ObjectId from, ObjectId to) {
   }
   src->add_ref(ref);
   counters_.ref_assignments.inc();
+  note_mutation();
   // Re-linked: the target is referenced again, so any floating-garbage
   // clock started for it is stale.
   if (Object* obj = heap_.find(to)) obj->unlinked_at = 0;
@@ -69,6 +71,7 @@ void Process::remove_ref(ObjectId from, ObjectId to) {
   }
   src->remove_ref(to);
   counters_.ref_removals.inc();
+  note_mutation();
   // Start the floating-garbage clock: this removal *may* have orphaned the
   // target.  Over-approximate here (the target can still be reachable
   // through other paths); the deep audit clears stamps on objects a mark
@@ -84,11 +87,13 @@ void Process::add_root(ObjectId target) {
                            " is not resolvable on " + to_string(id_));
   }
   heap_.add_root(target);
+  note_mutation();
   if (Object* obj = heap_.find(target)) obj->unlinked_at = 0;
 }
 
 void Process::remove_root(ObjectId target) {
   heap_.remove_root(target);
+  note_mutation();
   if (Object* obj = heap_.find(target)) {
     if (obj->unlinked_at == 0) obj->unlinked_at = network_->now();
   }
@@ -114,6 +119,7 @@ Stub& Process::ensure_stub(StubKey key, std::uint64_t created_at) {
         bucket.begin(), bucket.end(), key.target_process,
         [](const Stub* s, ProcessId p) { return s->key.target_process < p; });
     bucket.insert(pos, &it->second);
+    note_mutation();
   }
   return it->second;
 }
@@ -126,6 +132,7 @@ bool Process::erase_stub(StubKey key) {
   bucket.erase(std::find(bucket.begin(), bucket.end(), &it->second));
   if (bucket.empty()) stub_index_.erase(bucket_it);
   stubs_.erase(it);
+  note_mutation();
   return true;
 }
 
@@ -180,12 +187,14 @@ void Process::pin_transient_root(ObjectId target, std::uint32_t steps) {
   if (steps == 0) return;
   auto& ttl = transient_roots_[target];
   ttl = std::max(ttl, steps);
+  note_mutation();
 }
 
 void Process::tick() {
   for (auto it = transient_roots_.begin(); it != transient_roots_.end();) {
     if (--it->second == 0) {
       it = transient_roots_.erase(it);
+      note_mutation();
     } else {
       ++it;
     }

@@ -86,6 +86,56 @@ struct MarkScratch {
   bool index_dense{false};
 };
 
+/// Per-process scratch for the one-pass SCC snapshot summarizer
+/// (gc/cycle/summary.cpp): iterative-Tarjan state over dense heap
+/// positions, the edge lists recorded during the DFS, the per-SCC /
+/// per-stub seed bitsets, and the emission temporaries.  Owned by the
+/// process for the same reason as MarkScratch — capacity is reused across
+/// snapshots so steady-state summarization performs no scratch
+/// allocations — and under the same single-threaded-per-process contract.
+struct SummarizeScratch {
+  // Iterative Tarjan over the seed-reachable subgraph, indexed by dense
+  // heap position (MarkScratch::index order).
+  std::vector<std::uint32_t> num;
+  std::vector<std::uint32_t> low;
+  std::vector<std::uint32_t> scc;
+  std::vector<std::uint8_t> on_stack;
+  std::vector<std::uint32_t> stack;
+  struct Frame {
+    std::uint32_t node{0};
+    std::uint32_t ref{0};
+  };
+  std::vector<Frame> frames;
+  /// Object->object and object->stub edges recorded by the DFS (dense
+  /// source position, dense target / stub position).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> obj_edges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stub_edges;
+  /// Condensation-DAG adjacency, bucketed by source SCC (counting sort).
+  std::vector<std::uint32_t> edge_offsets;
+  std::vector<std::uint32_t> edge_targets;
+  /// Seed-reachability bitsets: one ceil(seeds/64)-word slice per SCC and
+  /// per stub; bit s set means seed s reaches that SCC / stub.
+  std::vector<std::uint64_t> scc_bits;
+  std::vector<std::uint64_t> stub_bits;
+  std::vector<std::uint64_t> tmp_bits;
+  /// Summarization seeds (scion anchors and replicated objects present in
+  /// the heap), sorted by id, with flag bits and dense heap positions.
+  std::vector<ObjectId> seed_objs;
+  std::vector<std::uint8_t> seed_flags;
+  std::vector<std::uint32_t> seed_nodes;
+  /// Scion anchors with no local replica (reached through stub chains).
+  std::vector<ObjectId> remote_anchors;
+  /// Stub table in key order (dense stub position -> stub).
+  std::vector<const Stub*> stub_list;
+  /// Per-seed forward output, shared by every scion on the same anchor.
+  std::vector<std::vector<StubKey>> stubs_of_seed;
+  std::vector<std::vector<ObjectId>> reps_of_seed;
+  // Emission temporaries.
+  std::vector<ScionKey> tmp_scion_keys;
+  std::vector<ObjectId> tmp_objs;
+  std::vector<StubKey> tmp_stub_keys;
+};
+
 class Process {
  public:
   Process(ProcessId id, net::Network& network);
@@ -284,6 +334,28 @@ class Process {
   /// Scratch of the *current* epoch (for result read-back after tracing).
   [[nodiscard]] MarkScratch& mark_scratch() const { return scratch_; }
 
+  /// Scratch for the one-pass snapshot summarizer (gc/cycle/summary.cpp);
+  /// const for the same reason as mark_scratch — summarization is a
+  /// read-only phase over the object graph.
+  [[nodiscard]] SummarizeScratch& summarize_scratch() const {
+    return sum_scratch_;
+  }
+
+  // ---- Snapshot identity (dirty-epoch tracking) ------------------------
+
+  /// Monotonic mutation epoch: bumped by every operation that can change
+  /// this process's snapshot summary — reference/root assignment, transient
+  /// roots, propagation and invocation, stub/scion/prop-table changes, and
+  /// sweeps.  Cluster-level snapshot reuse compares epochs to skip
+  /// re-summarizing quiescent processes (O(1) per round instead of a full
+  /// summarization).
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    return mutation_epoch_;
+  }
+
+  /// Records a summary-relevant mutation (see mutation_epoch()).
+  void note_mutation() noexcept { ++mutation_epoch_; }
+
  private:
   /// Creates or refreshes the scions for `object`'s enclosed references
   /// toward `to` ("clean before send"); `seq` is recorded as the creation
@@ -298,6 +370,8 @@ class Process {
   /// target process (pointers into stubs_, which has stable addresses).
   std::unordered_map<ObjectId, std::vector<Stub*>> stub_index_;
   mutable MarkScratch scratch_;
+  mutable SummarizeScratch sum_scratch_;
+  std::uint64_t mutation_epoch_{0};
   std::map<ScionKey, Scion> scions_;
   std::vector<InProp> in_props_;
   std::vector<OutProp> out_props_;

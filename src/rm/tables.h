@@ -44,6 +44,11 @@ struct Stub {
   mutable std::uint64_t mark_epoch{0};
   mutable std::uint8_t mark_bits{0};
 
+  /// Dense position of this stub in the current summarization pass (stamped
+  /// by gc::summarize while walking the stub table in key order; only valid
+  /// within that pass).  Same intrusive-scratch idea as the mark state.
+  mutable std::uint32_t summarize_idx{0};
+
   bool mark(std::uint64_t epoch, std::uint8_t bit) const {
     if (mark_epoch != epoch) {
       mark_epoch = epoch;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <initializer_list>
 #include <vector>
 
@@ -22,6 +23,19 @@ class FlatSet {
   FlatSet() = default;
   FlatSet(std::initializer_list<T> xs) : items_(xs) { normalize(); }
   explicit FlatSet(std::vector<T> xs) : items_(std::move(xs)) { normalize(); }
+
+  /// Adopts `xs` as the backing store, trusting the caller that it is
+  /// already sorted and duplicate-free (checked in debug builds).  Lets
+  /// producers whose output is naturally ordered — the snapshot
+  /// summarizer's bitset sweeps emit in key order — skip the sort+dedup
+  /// normalization pass.
+  [[nodiscard]] static FlatSet from_sorted_unique(std::vector<T> xs) {
+    assert(std::is_sorted(xs.begin(), xs.end()));
+    assert(std::adjacent_find(xs.begin(), xs.end()) == xs.end());
+    FlatSet out;
+    out.items_ = std::move(xs);
+    return out;
+  }
 
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }

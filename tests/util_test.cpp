@@ -58,6 +58,15 @@ TEST(FlatSetTest, ContainsAndErase) {
   EXPECT_FALSE(s.erase(2));
 }
 
+TEST(FlatSetTest, FromSortedUniqueAdoptsVector) {
+  const FlatSet<int> s = FlatSet<int>::from_sorted_unique({1, 4, 9});
+  EXPECT_EQ(s.items(), (std::vector<int>{1, 4, 9}));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_EQ(FlatSet<int>::from_sorted_unique({}).size(), 0u);
+  // Adopted sets behave exactly like incrementally built ones.
+  EXPECT_EQ(s, (FlatSet<int>{9, 1, 4}));
+}
+
 TEST(FlatSetTest, MergeIsUnion) {
   FlatSet<int> a{1, 3};
   const FlatSet<int> b{2, 3, 4};
