@@ -40,10 +40,15 @@ if [[ "${1:-}" != "--fast" ]]; then
   # (RGC_CHAOS_AUDIT=1) with the worker pool at 4 threads, under both
   # sanitizer trees.  chaos_test asserts cluster.audit().errors() == 0
   # after every burst, so any auditor ERROR fails the run.
-  echo "== chaos under ASan/UBSan, audit every step, threads=4 =="
-  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 ./build-asan/tests/chaos_test
-  echo "== chaos under TSan, audit every step, threads=4 =="
-  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 ./build-tsan/tests/chaos_test
+  # RGC_CHAOS_FAULTS=1 additionally enables the heavy fault-chaos legs
+  # (crash/restart/partition FaultPlans under message loss — docs/FAULTS.md);
+  # the fault suites are also selectable in any tree with `ctest -L faults`.
+  echo "== chaos under ASan/UBSan, audit every step, threads=4, faults on =="
+  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 RGC_CHAOS_FAULTS=1 ./build-asan/tests/chaos_test
+  echo "== chaos under TSan, audit every step, threads=4, faults on =="
+  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 RGC_CHAOS_FAULTS=1 ./build-tsan/tests/chaos_test
+  echo "== recovery suite under ASan/UBSan =="
+  ./build-asan/tests/recovery_test
 fi
 
 echo "OK"

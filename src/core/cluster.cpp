@@ -1,8 +1,11 @@
 #include "core/cluster.h"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
+#include "gc/cycle/snapshot_io.h"
+#include "obs/check.h"
 #include "util/log.h"
 #include "util/trace.h"
 
@@ -14,6 +17,8 @@ Cluster::Cluster(ClusterConfig config)
       *this, obs::AuditConfig{config_.audit_interval, config_.audit_deep_every,
                               config_.audit_oracle_assist});
   net_.set_observer(auditor_.get());
+  // Leases imply the fault model: invokes may legally race a crash window.
+  faults_engaged_ = config_.lease_timeout > 0;
 }
 
 Cluster::~Cluster() = default;
@@ -21,7 +26,14 @@ Cluster::~Cluster() = default;
 ProcessId Cluster::add_process() {
   const ProcessId pid{next_process_++};
   Node node;
+  build_node(pid, node);
+  nodes_.emplace(pid, std::move(node));
+  return pid;
+}
+
+void Cluster::build_node(ProcessId pid, Node& node) {
   node.process = std::make_unique<rm::Process>(pid, net_);
+  node.process->set_fault_tolerant(faults_engaged_);
   node.detector =
       std::make_unique<gc::CycleDetector>(*node.process, config_.detector);
   node.baseline = std::make_unique<gc::BaselineDetector>(*node.process);
@@ -36,44 +48,63 @@ ProcessId Cluster::add_process() {
     handle_cycle_found(pid, cdm);
   };
   node.detector->set_profile(&profile_.histogram("cycle.detect_us"));
-  nodes_.emplace(pid, std::move(node));
+  node.summary_cache_valid = false;
+  node.last_summary_fresh = true;
+  node.alive = true;
   net_.attach(pid, [this, pid](const net::Envelope& env) { dispatch(pid, env); });
-  return pid;
+}
+
+std::size_t Cluster::process_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [pid, node] : nodes_) n += node.alive ? 1 : 0;
+  return n;
 }
 
 std::vector<ProcessId> Cluster::process_ids() const {
   std::vector<ProcessId> out;
   out.reserve(nodes_.size());
-  for (const auto& [pid, node] : nodes_) out.push_back(pid);
+  for (const auto& [pid, node] : nodes_) {
+    if (node.alive) out.push_back(pid);
+  }
   return out;
 }
 
 rm::Process& Cluster::process(ProcessId id) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  if (!it->second.alive) throw std::out_of_range("process is down");
   return *it->second.process;
 }
 
 const rm::Process& Cluster::process(ProcessId id) const {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  if (!it->second.alive) throw std::out_of_range("process is down");
   return *it->second.process;
 }
 
 gc::CycleDetector& Cluster::detector(ProcessId id) {
-  return *nodes_.at(id).detector;
+  Node& node = nodes_.at(id);
+  if (!node.alive) throw std::out_of_range("process is down");
+  return *node.detector;
 }
 
 gc::BaselineDetector& Cluster::baseline(ProcessId id) {
-  return *nodes_.at(id).baseline;
+  Node& node = nodes_.at(id);
+  if (!node.alive) throw std::out_of_range("process is down");
+  return *node.baseline;
 }
 
 gc::DistanceHeuristic& Cluster::distance_heuristic(ProcessId id) {
-  return *nodes_.at(id).distance;
+  Node& node = nodes_.at(id);
+  if (!node.alive) throw std::out_of_range("process is down");
+  return *node.distance;
 }
 
 gc::SuspicionAgeTracker& Cluster::suspicion_tracker(ProcessId id) {
-  return *nodes_.at(id).suspicion;
+  Node& node = nodes_.at(id);
+  if (!node.alive) throw std::out_of_range("process is down");
+  return *node.suspicion;
 }
 
 ObjectId Cluster::new_object(ProcessId owner, std::uint32_t payload_bytes) {
@@ -109,10 +140,38 @@ void Cluster::invoke(ProcessId caller, ObjectId target,
 
 void Cluster::step() {
   net_.step();
-  for (auto& [pid, node] : nodes_) node.process->tick();
+  for (auto& [pid, node] : nodes_) {
+    if (node.alive) node.process->tick();
+  }
+  if (config_.lease_timeout > 0) {
+    // Out-of-band keepalive floor: every pair of mutually reachable live
+    // processes renews each other's leases without any network traffic
+    // (renewals also piggyback on every delivery), so an idle healthy
+    // cluster never self-expires and quiescence is unaffected.
+    if (now() % heartbeat_interval() == 0) {
+      for (auto& [p, pn] : nodes_) {
+        if (!pn.alive) continue;
+        for (auto& [q, qn] : nodes_) {
+          if (q == p || !qn.alive) continue;
+          if (net_.reachable(q, p)) pn.process->note_heard(q, now());
+        }
+      }
+    }
+    for (auto& [pid, node] : nodes_) {
+      if (!node.alive) continue;
+      util::ScopedProcess ctx{pid};
+      gc::Adgc::expire_leases(*node.process, now(), config_.lease_timeout);
+    }
+  }
   if (config_.audit_interval != 0 && now() % config_.audit_interval == 0) {
     auditor_->run_scheduled();
   }
+}
+
+std::uint64_t Cluster::heartbeat_interval() const noexcept {
+  if (config_.heartbeat_interval != 0) return config_.heartbeat_interval;
+  const std::uint64_t derived = config_.lease_timeout / 4;
+  return derived == 0 ? 1 : derived;
 }
 
 QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
@@ -129,7 +188,11 @@ QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
     RGC_WARN("cluster: run_until_quiescent gave up after ", max_steps,
              " steps with ", net_.in_flight(), " messages still in flight");
   }
-  return QuiescenceStatus{steps, net_.idle(), net_.in_flight()};
+  // Crashed processes are not pending work: kill() purged their traffic, so
+  // they never hold up quiescence — callers see them in `dead` instead.
+  std::size_t dead = 0;
+  for (const auto& [pid, node] : nodes_) dead += node.alive ? 0 : 1;
+  return QuiescenceStatus{steps, net_.idle(), net_.in_flight(), dead};
 }
 
 util::ThreadPool& Cluster::pool() {
@@ -142,6 +205,7 @@ util::ThreadPool& Cluster::pool() {
 
 gc::LgcResult Cluster::collect(ProcessId id) {
   Node& node = nodes_.at(id);
+  if (!node.alive) throw std::out_of_range("process is down");
   rm::Process& proc = *node.process;
   // Attribute collection-time log/trace output to the collecting process.
   util::ScopedProcess ctx{id};
@@ -180,6 +244,7 @@ std::uint64_t Cluster::collect_round() {
   pids.reserve(nodes_.size());
   nodes.reserve(nodes_.size());
   for (auto& [pid, node] : nodes_) {
+    if (!node.alive) continue;
     pids.push_back(pid);
     nodes.push_back(&node);
   }
@@ -271,14 +336,15 @@ void Cluster::summarize_all(const std::vector<Node*>& nodes,
 }
 
 void Cluster::update_dirty_gauge() {
-  if (nodes_.empty()) return;
+  std::size_t live = 0;
   std::size_t fresh = 0;
   for (const auto& [pid, node] : nodes_) {
+    if (!node.alive) continue;
+    ++live;
     if (node.last_summary_fresh) ++fresh;
   }
-  net_.metrics()
-      .gauge("cycle.summary_dirty_fraction")
-      .set(fresh * 100 / nodes_.size());
+  if (live == 0) return;
+  net_.metrics().gauge("cycle.summary_dirty_fraction").set(fresh * 100 / live);
 }
 
 void Cluster::snapshot_all() {
@@ -288,6 +354,7 @@ void Cluster::snapshot_all() {
   pids.reserve(nodes_.size());
   nodes.reserve(nodes_.size());
   for (auto& [pid, node] : nodes_) {
+    if (!node.alive) continue;
     pids.push_back(pid);
     nodes.push_back(&node);
   }
@@ -340,7 +407,8 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
              net_.metrics().get("net.delivered.Reclaim") +
              net_.metrics().get("net.delivered.Cut") +
              net_.metrics().get("net.delivered.PropCut") +
-             metric_total("adgc.scions_deleted");
+             metric_total("adgc.scions_deleted") +
+             metric_total("gc.lease_expirations");
     };
     std::uint64_t reclaimed_this_round = 0;
     {
@@ -363,6 +431,7 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
     snapshot_all();
     std::uint64_t started = 0;
     for (auto& [pid, node] : nodes_) {
+      if (!node.alive) continue;
       util::ScopedProcess ctx{pid};
       const gc::ProcessSummary& s = config_.mode == DetectorMode::kBaseline
                                         ? node.baseline->summary()
@@ -390,6 +459,7 @@ Cluster::FullGcStats Cluster::run_full_gc(std::size_t max_rounds) {
 
 std::set<ObjectId> Cluster::suspects(ProcessId id) {
   Node& node = nodes_.at(id);
+  if (!node.alive) return {};
   const bool use_baseline = config_.mode == DetectorMode::kBaseline;
   if (use_baseline ? !node.baseline->has_snapshot()
                    : !node.detector->has_snapshot()) {
@@ -423,25 +493,48 @@ std::set<ObjectId> Cluster::pick_suspects(const Node& node,
 
 std::uint64_t Cluster::total_objects() const {
   std::uint64_t total = 0;
-  for (const auto& [pid, node] : nodes_) total += node.process->heap().size();
+  for (const auto& [pid, node] : nodes_) {
+    if (node.alive) total += node.process->heap().size();
+  }
   return total;
 }
 
 std::uint64_t Cluster::metric_total(const std::string& name) const {
   std::uint64_t total = 0;
   for (const auto& [pid, node] : nodes_) {
-    total += node.process->metrics().get(name);
+    if (node.alive) total += node.process->metrics().get(name);
   }
   return total;
 }
 
 void Cluster::dispatch(ProcessId pid, const net::Envelope& env) {
   Node& node = nodes_.at(pid);
+  // Any delivery is proof of life: renew the sender's lease.  Deliberately
+  // epoch-silent (rm::Process::note_heard), so piggybacked heartbeats never
+  // invalidate the dirty-epoch summary cache.
+  node.process->note_heard(env.src, net_.now());
   const net::Message* m = env.msg;
   if (const auto* p = dynamic_cast<const rm::PropagateMsg*>(m)) {
     node.process->on_propagate(env, *p);
   } else if (const auto* p = dynamic_cast<const rm::InvokeMsg*>(m)) {
     node.process->on_invoke(env, *p);
+  } else if (const auto* p = dynamic_cast<const rm::RecoverMsg*>(m)) {
+    // The peer restarted with a reset collection-epoch counter: forget its
+    // recorded NewSetStubs epoch so its next announcement is not dropped as
+    // stale, then run our half of the reconciliation toward it.  Ships on
+    // the same FIFO link *before* the peer's reconciliation traffic
+    // (Cluster::restart sends Recover first), so the reset cannot race it.
+    RGC_DEBUG("cluster: ", to_string(pid), " sees ", to_string(env.src),
+              " recovering (incarnation ", p->incarnation, ")");
+    node.process->newsetstubs_epochs()[env.src] = 0;
+    node.process->metrics().add("rm.recover_received");
+    send_reconciliation(*node.process, env.src);
+  } else if (const auto* p = dynamic_cast<const rm::RebindMsg*>(m)) {
+    node.process->on_rebind(env, *p);
+  } else if (const auto* p = dynamic_cast<const rm::RebindNackMsg*>(m)) {
+    node.process->on_rebind_nack(env, *p);
+  } else if (const auto* p = dynamic_cast<const rm::PropSyncMsg*>(m)) {
+    node.process->on_prop_sync(env, *p);
   } else if (const auto* p = dynamic_cast<const gc::NewSetStubsMsg*>(m)) {
     gc::Adgc::on_new_set_stubs(*node.process, env, *p);
     if (!p->distances.empty()) {
@@ -466,6 +559,224 @@ void Cluster::dispatch(ProcessId pid, const net::Envelope& env) {
   } else {
     throw std::logic_error(std::string("unhandled message kind: ") + m->kind());
   }
+}
+
+// ---- Faults: crash, restart, partition (docs/FAULTS.md) --------------------
+
+void Cluster::engage_fault_tolerance() {
+  if (faults_engaged_) return;
+  faults_engaged_ = true;
+  for (auto& [pid, node] : nodes_) {
+    if (node.alive) node.process->set_fault_tolerant(true);
+  }
+}
+
+void Cluster::kill(ProcessId pid) {
+  auto it = nodes_.find(pid);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  Node& node = it->second;
+  if (!node.alive) throw std::logic_error("process already down");
+  engage_fault_tolerance();
+  // The auditor banks the dying process's conservation contributions (CDMs
+  // sent/received, pending cut whitelists) before the state vanishes.
+  auditor_->note_crash(pid, node.process->metrics());
+  net_.detach(pid);  // purges its in-flight traffic, both directions
+  node.process.reset();
+  node.detector.reset();
+  node.baseline.reset();
+  node.distance.reset();
+  node.suspicion.reset();
+  node.summary_cache_valid = false;
+  node.alive = false;
+  net_.metrics().add("cluster.crashes");
+  RGC_INFO("cluster: killed ", to_string(pid));
+}
+
+void Cluster::persist(ProcessId pid) {
+  auto it = nodes_.find(pid);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  Node& node = it->second;
+  if (!node.alive) throw std::logic_error("cannot persist a dead process");
+  // No metrics, no mutation-epoch effect: periodic persistence must be
+  // invisible to deterministic runs (core/daemon.cpp calls this on its
+  // snapshot cadence).
+  node.image = gc::encode_image(node.process->capture_image(now()));
+  node.image_epoch = node.process->mutation_epoch();
+}
+
+void Cluster::persist_all() {
+  for (auto& [pid, node] : nodes_) {
+    if (node.alive) persist(pid);
+  }
+}
+
+bool Cluster::restart(ProcessId pid) {
+  auto it = nodes_.find(pid);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  Node& node = it->second;
+  if (node.alive) throw std::logic_error("process is not down");
+
+  build_node(pid, node);
+  ++node.incarnations;
+
+  bool rehydrated = false;
+  if (!node.image.empty()) {
+    // Never silently mis-rehydrate: a corrupt or stale image is rejected
+    // (offline checker verdict) and the process restarts empty instead.
+    const auto findings = obs::check_image(node.image, node.image_epoch);
+    if (findings.empty()) {
+      if (auto image = gc::decode_image(node.image)) {
+        node.process->restore_image(*image, now());
+        rehydrated = true;
+      }
+    }
+    if (!rehydrated) {
+      net_.metrics().add("cluster.restart_image_rejected");
+      RGC_WARN("cluster: persisted image for ", to_string(pid), " rejected (",
+               findings.empty() ? std::string("undecodable")
+                                : findings.front().detail,
+               "); restarting empty");
+    }
+  }
+  net_.metrics().add("cluster.recoveries");
+  auditor_->note_restart(pid);
+
+  // Lease re-registration in both directions BEFORE any reclamation can run
+  // again — the safety of Adgc::expire_leases depends on it.
+  for (auto& [q, qn] : nodes_) {
+    if (q == pid || !qn.alive) continue;
+    qn.process->note_heard(pid, now());
+    node.process->note_heard(q, now());
+  }
+  // RecoverMsg first on every FIFO link, so each peer resets our recorded
+  // NewSetStubs epoch before any reconciliation announcement arrives.
+  for (auto& [q, qn] : nodes_) {
+    if (q == pid || !qn.alive || !net_.reachable(pid, q)) continue;
+    auto msg = std::make_unique<rm::RecoverMsg>();
+    msg->incarnation = node.incarnations;
+    net_.send(pid, q, std::move(msg));
+    node.process->metrics().add("rm.recover_sent");
+  }
+  for (auto& [q, qn] : nodes_) {
+    if (q == pid || !qn.alive || !net_.reachable(pid, q)) continue;
+    send_reconciliation(*node.process, q);
+  }
+  RGC_INFO("cluster: restarted ", to_string(pid),
+           rehydrated ? " from persisted image" : " empty");
+  return rehydrated;
+}
+
+bool Cluster::is_alive(ProcessId pid) const {
+  auto it = nodes_.find(pid);
+  return it != nodes_.end() && it->second.alive;
+}
+
+std::vector<ProcessId> Cluster::dead_process_ids() const {
+  std::vector<ProcessId> out;
+  for (const auto& [pid, node] : nodes_) {
+    if (!node.alive) out.push_back(pid);
+  }
+  return out;
+}
+
+bool Cluster::has_image(ProcessId pid) const { return !image(pid).empty(); }
+
+const std::string& Cluster::image(ProcessId pid) const {
+  auto it = nodes_.find(pid);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  return it->second.image;
+}
+
+void Cluster::set_image(ProcessId pid, std::string bytes) {
+  auto it = nodes_.find(pid);
+  if (it == nodes_.end()) throw std::out_of_range("unknown process");
+  it->second.image = std::move(bytes);
+}
+
+void Cluster::partition(const std::vector<std::vector<ProcessId>>& groups) {
+  engage_fault_tolerance();
+  net_.set_partition(groups);
+  net_.metrics().add("cluster.partitions");
+}
+
+void Cluster::heal() {
+  if (!net_.partitioned()) return;
+  const std::map<ProcessId, std::uint32_t> groups = net_.partition_groups();
+  net_.clear_partition();
+  net_.metrics().add("cluster.heals");
+  // Anti-entropy across the former cut: every live pair the mask separated
+  // renews leases immediately (so this step's expiry sweep cannot retire
+  // freshly-rebound state) and reconciles in both directions, in pid order.
+  for (auto& [p, pn] : nodes_) {
+    if (!pn.alive) continue;
+    const auto pg = groups.find(p);
+    if (pg == groups.end()) continue;
+    for (auto& [q, qn] : nodes_) {
+      if (raw(q) <= raw(p) || !qn.alive) continue;
+      const auto qg = groups.find(q);
+      if (qg == groups.end() || qg->second == pg->second) continue;
+      pn.process->note_heard(q, now());
+      qn.process->note_heard(p, now());
+      send_reconciliation(*pn.process, q);
+      send_reconciliation(*qn.process, p);
+    }
+  }
+  RGC_INFO("cluster: partition healed");
+}
+
+void Cluster::send_reconciliation(rm::Process& from, ProcessId peer) {
+  util::ScopedProcess ctx{from.id()};
+  const ProcessId self = from.id();
+
+  // (1) Re-bind: ask the peer to re-create the scion behind every stub we
+  // hold toward it (its restart image may predate the export, or it may
+  // have lease-expired us during a partition).
+  std::size_t stubs_toward_peer = 0;
+  for (const auto& [key, stub] : from.stubs()) {
+    if (key.target_process != peer) continue;
+    ++stubs_toward_peer;
+    auto msg = std::make_unique<rm::RebindMsg>();
+    msg->anchor = key.target;
+    msg->ic = stub.ic;
+    net_.send(self, peer, std::move(msg));
+    from.metrics().add("rm.rebinds_sent");
+  }
+
+  // (2) Re-propagate every link we own toward the peer — the replica and
+  // its inProp entry are re-created if the peer lost them — then (3) a
+  // PropSync names exactly the links that exist on this side, so the peer
+  // drops inProp entries whose parent half died with our lost state.
+  std::vector<ObjectId> owned;
+  for (const auto& e : from.out_props()) {
+    if (e.process == peer) owned.push_back(e.object);
+  }
+  std::sort(owned.begin(), owned.end());
+  owned.erase(std::unique(owned.begin(), owned.end()), owned.end());
+  for (ObjectId obj : owned) {
+    if (!from.has_replica(obj)) continue;
+    from.propagate(obj, peer);
+  }
+  auto sync = std::make_unique<rm::PropSyncMsg>();
+  sync->objects = owned;
+  net_.send(self, peer, std::move(sync));
+  from.metrics().add("rm.propsyncs_sent");
+
+  // (4) Refresh the scion-retirement channel: with stubs toward the peer,
+  // re-enter the NewSetStubs round so orphaned scions there retire on the
+  // next collection; with none, one final empty (reliable) announcement
+  // lets the peer drop every scion it still holds for us.
+  if (stubs_toward_peer > 0) {
+    from.stub_peers().insert(peer);
+  } else {
+    auto nss = std::make_unique<gc::NewSetStubsMsg>();
+    nss->epoch = from.next_collection_epoch();
+    nss->horizon = from.delivered_prop_seq(peer);
+    nss->final_set = true;
+    net_.send(self, peer, std::move(nss));
+    from.metrics().add("adgc.newsetstubs_sent");
+    from.stub_peers().erase(peer);
+  }
+  from.metrics().add("rm.reconciliations");
 }
 
 void Cluster::handle_cycle_found(ProcessId at, const gc::Cdm& cdm) {

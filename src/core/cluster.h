@@ -90,6 +90,16 @@ struct ClusterConfig {
   /// Deep audits additionally cross-check against the omniscient
   /// core::Oracle (test harnesses only — the oracle scan is global).
   bool audit_oracle_assist{false};
+  /// Lease/timeout reclamation (docs/FAULTS.md): a peer whose lease has
+  /// not been renewed for this many steps is considered failed, and the
+  /// scions/props it holds here are retired through the ADGC path
+  /// (gc::Adgc::expire_leases).  0 (default) disables leases entirely —
+  /// dead processes then pin their remote state until they restart.
+  std::uint64_t lease_timeout{0};
+  /// Cadence of the out-of-band keepalive floor between mutually reachable
+  /// live processes (renewals also piggyback on every delivered message).
+  /// 0 derives max(1, lease_timeout / 4).  Ignored while leases are off.
+  std::uint64_t heartbeat_interval{0};
 };
 
 /// Outcome of run_until_quiescent: how many steps ran and whether the
@@ -101,6 +111,11 @@ struct QuiescenceStatus {
   bool quiescent{true};
   /// Messages still in flight when we gave up (0 when quiescent).
   std::size_t in_flight{0};
+  /// Crashed processes at the time of the call.  They are NOT pending work:
+  /// kill() purges their in-flight traffic, so a cluster with dead members
+  /// still quiesces (the fix for the old "crashed process counts as
+  /// pending forever" hang).
+  std::size_t dead{0};
 
   constexpr operator std::uint64_t() const noexcept { return steps; }  // NOLINT
 };
@@ -115,7 +130,9 @@ class Cluster {
 
   // ---- Topology ---------------------------------------------------------
   ProcessId add_process();
-  [[nodiscard]] std::size_t process_count() const noexcept { return nodes_.size(); }
+  /// Number of live (non-crashed) processes.
+  [[nodiscard]] std::size_t process_count() const noexcept;
+  /// Live process ids only; crashed ones reappear after restart().
   [[nodiscard]] std::vector<ProcessId> process_ids() const;
   [[nodiscard]] rm::Process& process(ProcessId id);
   [[nodiscard]] const rm::Process& process(ProcessId id) const;
@@ -125,6 +142,59 @@ class Cluster {
   [[nodiscard]] gc::SuspicionAgeTracker& suspicion_tracker(ProcessId id);
   [[nodiscard]] net::Network& network() noexcept { return net_; }
   [[nodiscard]] const net::Network& network() const noexcept { return net_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  // ---- Faults: crash, restart, partition (docs/FAULTS.md) ----------------
+
+  /// Crashes `pid`: its in-memory state (process, detectors) is destroyed,
+  /// its in-flight messages are purged, and future sends to it are dropped
+  /// at the source.  The pid stays known — restart() brings it back.
+  /// Engages fault-tolerant mode on every process (see
+  /// rm::Process::set_fault_tolerant).  Throws if already down or unknown.
+  void kill(ProcessId pid);
+
+  /// Captures `pid`'s full state into its persisted image slot (the
+  /// "snapshot periodically stored on disk" of §3.5.1, extended to the
+  /// restartable rm/image.h format).  Deliberately free of metrics and
+  /// mutation-epoch effects so periodic persistence never perturbs a
+  /// deterministic run.  Throws for a dead pid.
+  void persist(ProcessId pid);
+  /// persist() on every live process, in pid order.
+  void persist_all();
+
+  /// Restarts a crashed `pid` from its last persisted image: validates the
+  /// image (obs::check_image — a corrupt or stale one is rejected and the
+  /// process restarts empty, counted as "cluster.restart_image_rejected"),
+  /// re-registers leases in both directions, then drives the
+  /// reconciliation protocol (RecoverMsg to every live peer + this side's
+  /// rebinds/re-propagations).  Returns true when state was rehydrated
+  /// from a valid image, false on an empty or rejected restart.  Throws if
+  /// `pid` is alive or unknown.
+  bool restart(ProcessId pid);
+
+  /// True when `pid` exists and has not been killed (or was restarted).
+  [[nodiscard]] bool is_alive(ProcessId pid) const;
+  /// Currently crashed pids, ascending.
+  [[nodiscard]] std::vector<ProcessId> dead_process_ids() const;
+
+  /// Whether a persisted image exists for `pid` (any liveness).
+  [[nodiscard]] bool has_image(ProcessId pid) const;
+  /// Persisted image bytes ("" when none).  Test hooks: set_image replaces
+  /// the stored bytes *without* touching the recorded persist epoch, so
+  /// corruption and stale-snapshot scenarios are constructible.
+  [[nodiscard]] const std::string& image(ProcessId pid) const;
+  void set_image(ProcessId pid, std::string bytes);
+
+  /// Installs a partition mask (see net::Network::set_partition): messages
+  /// crossing group boundaries are lost, including those already in
+  /// flight.  Engages fault-tolerant mode.
+  void partition(const std::vector<std::vector<ProcessId>>& groups);
+  /// Lifts the mask and runs the anti-entropy round: every live
+  /// cross-group pair reconciles in both directions (rebinds,
+  /// re-propagations, prop-sync), and leases across the former cut are
+  /// renewed.  Nothing lost during the partition is re-delivered.
+  void heal();
+  [[nodiscard]] bool partitioned() const noexcept { return net_.partitioned(); }
 
   // ---- Graph building & mutation (delegates to the owning process) ------
   /// Creates a new object with a globally unique id on `owner`.
@@ -224,6 +294,15 @@ class Cluster {
     /// (true) or reused the cache (false).  Feeds the cluster-wide
     /// cycle.summary_dirty_fraction gauge.
     bool last_summary_fresh{true};
+    /// False after kill(); the pointers above are null while down.
+    bool alive{true};
+    /// Last persisted image (gc::encode_image bytes; "" = never persisted)
+    /// and the process mutation epoch recorded at persist time — restart
+    /// rejects images older than this (stale-snapshot guard).
+    std::string image;
+    std::uint64_t image_epoch{0};
+    /// Completed restarts (RecoverMsg::incarnation).
+    std::uint64_t incarnations{0};
   };
 
   /// Candidates for one process's detection sweep under the configured
@@ -257,12 +336,30 @@ class Cluster {
   void dispatch(ProcessId pid, const net::Envelope& env);
   void handle_cycle_found(ProcessId at, const gc::Cdm& cdm);
 
+  /// (Re)creates the live half of a Node for `pid` (process + detectors +
+  /// dispatch attachment) — shared by add_process and restart.
+  void build_node(ProcessId pid, Node& node);
+
+  /// Switches every live process into fault-tolerant mode; called the
+  /// first time kill()/partition() runs or when leases are configured.
+  void engage_fault_tolerance();
+
+  /// One side of the reconciliation protocol: `from` re-binds its stubs
+  /// toward `peer`, re-propagates its surviving links, prop-syncs, and
+  /// refreshes the scion-retirement channel (docs/FAULTS.md).
+  void send_reconciliation(rm::Process& from, ProcessId peer);
+
+  /// Effective keepalive cadence (config.heartbeat_interval or derived).
+  [[nodiscard]] std::uint64_t heartbeat_interval() const noexcept;
+
   ClusterConfig config_;
   net::NetworkConfig net_config_;
   net::Network net_;
   std::map<ProcessId, Node> nodes_;
   std::uint64_t next_object_{0};
   std::uint32_t next_process_{0};
+  /// True once any fault machinery (kill/partition/leases) is in play.
+  bool faults_engaged_{false};
   std::vector<gc::Cdm> cycles_found_;
   gc::Finalizer finalizer_;
   std::unique_ptr<util::ThreadPool> pool_;

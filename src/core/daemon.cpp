@@ -23,6 +23,11 @@ void GcDaemon::step() {
     if (phase % config_.snapshot_period == 0) {
       util::SpanGuard sweep{"daemon.sweep", pid};
       util::ScopedProcess ctx{pid};
+      // The same cadence that snapshots for detection persists the process
+      // image (§3.5.1 "periodically … stores a snapshot on disk") — what a
+      // later Cluster::restart rehydrates from.  Metric- and epoch-free, so
+      // it is invisible to deterministic runs.
+      cluster_.persist(pid);
       cluster_.detector(pid).take_snapshot();
       ++sweeps_;
       std::uint64_t started = 0;

@@ -43,17 +43,6 @@ OracleReport Oracle::analyze(const Cluster& cluster) {
     for (ObjectId next : it->second) work.push_back(next);
   }
 
-  // Safety invariant 1: a live object must still exist somewhere.
-  for (ObjectId id : report.live_objects) {
-    if (!report.existing_objects.contains(id)) {
-      report.violations.push_back("live object lost: " + to_string(id));
-    }
-  }
-
-  // Safety invariant 2: live paths must resolve.  Per process, trace from
-  // its roots through local replicas; every reference reached must resolve
-  // to a local replica or through a stub–scion *chain* (§2.2.4: chains of
-  // stub–scion pairs are legal) ending at an existing remote replica.
   auto resolves_through_chain = [&cluster](ObjectId target, ProcessId from) {
     std::set<ProcessId> visited;
     std::deque<ProcessId> frontier{from};
@@ -61,6 +50,11 @@ OracleReport Oracle::analyze(const Cluster& cluster) {
       const ProcessId at = frontier.front();
       frontier.pop_front();
       if (!visited.insert(at).second) continue;
+      // A chain hop into a crashed process is optimistically resolvable:
+      // the state behind it is unobservable until restart, and the
+      // reconciliation protocol (rebind / rebind-nack) settles the stub's
+      // fate then — flagging it now would be a false violation.
+      if (!cluster.is_alive(at)) return true;
       const rm::Process& node = cluster.process(at);
       if (node.has_replica(target)) return true;
       for (const rm::StubKey& key : node.stubs_for(target)) {
@@ -69,6 +63,30 @@ OracleReport Oracle::analyze(const Cluster& cluster) {
     }
     return false;
   };
+
+  // Safety invariant 1: a live object must still exist somewhere.  An
+  // object whose only replicas sit behind a crashed process is
+  // *unobservable*, not lost — some live stub for it chains into the dead
+  // node, and restart-time reconciliation decides its fate.
+  for (ObjectId id : report.live_objects) {
+    if (report.existing_objects.contains(id)) continue;
+    bool unobservable = false;
+    for (ProcessId pid : cluster.process_ids()) {
+      if (!cluster.process(pid).stubs_for(id).empty() &&
+          resolves_through_chain(id, pid)) {
+        unobservable = true;
+        break;
+      }
+    }
+    if (!unobservable) {
+      report.violations.push_back("live object lost: " + to_string(id));
+    }
+  }
+
+  // Safety invariant 2: live paths must resolve.  Per process, trace from
+  // its roots through local replicas; every reference reached must resolve
+  // to a local replica or through a stub–scion *chain* (§2.2.4: chains of
+  // stub–scion pairs are legal) ending at an existing remote replica.
   for (ProcessId pid : cluster.process_ids()) {
     const rm::Process& proc = cluster.process(pid);
     std::set<ObjectId> seen;

@@ -236,4 +236,82 @@ void Adgc::on_reclaim(rm::Process& process, const net::Envelope& env,
             to_string(obj), " after Reclaim from ", to_string(env.src));
 }
 
+std::uint64_t Adgc::expire_leases(rm::Process& process, std::uint64_t now,
+                                  std::uint64_t timeout) {
+  // Peers holding leased state here: scion owners and propagation partners.
+  // Stubs are deliberately NOT expired — a stub toward a dead process is
+  // the surviving half of a reference that may resolve again after a
+  // restart; it costs nothing to keep and the reconciliation protocol
+  // (rebind / rebind-nack) settles its fate when the peer returns.
+  std::set<ProcessId> peers;
+  for (const auto& [key, scion] : process.scions()) peers.insert(key.src_process);
+  for (const auto& e : process.in_props()) peers.insert(e.process);
+  for (const auto& e : process.out_props()) peers.insert(e.process);
+
+  std::uint64_t expired_scions = 0;
+  auto& trace = util::Trace::instance();
+  for (const ProcessId peer : peers) {
+    if (peer == process.id()) continue;
+    const std::uint64_t heard = process.last_heard(peer);
+    if (now < heard + timeout) continue;  // lease still current
+
+    // Scions: the existing ADGC retirement path, triggered by timeout
+    // instead of a NewSetStubs round — the owner has missed its lease, so
+    // its references no longer count as anchors.
+    auto& scions = process.scions();
+    bool changed = false;
+    for (auto it = scions.begin(); it != scions.end();) {
+      if (it->first.src_process != peer) {
+        ++it;
+        continue;
+      }
+      process.metrics().add("adgc.scions_deleted");
+      process.metrics().add("gc.lease_expirations");
+      if (trace.enabled()) {
+        trace.instant(
+            "adgc.scion_drop", process.id(), 0, false,
+            {util::TraceArg::str("anchor", rgc::to_string(it->first.anchor)),
+             util::TraceArg::num("from", raw(peer)),
+             util::TraceArg::num("lease", 1)});
+      }
+      RGC_DEBUG("adgc: ", to_string(process.id()), " lease-expires scion for ",
+                to_string(it->first.anchor), " owned by ", to_string(peer));
+      it = scions.erase(it);
+      ++expired_scions;
+      changed = true;
+    }
+
+    // Propagation links: a dead peer's inProps no longer protect our
+    // replicas (Union Rule counts only live parents), and our outProps
+    // toward it can never complete the Unreachable/Reclaim hand-shake —
+    // both would pin the subtree as floating garbage forever.
+    auto& ins = process.in_props();
+    const std::size_t ins_before = ins.size();
+    ins.erase(std::remove_if(
+                  ins.begin(), ins.end(),
+                  [peer](const rm::InProp& e) { return e.process == peer; }),
+              ins.end());
+    if (ins.size() != ins_before) {
+      process.metrics().add("gc.lease_inprops_dropped", ins_before - ins.size());
+      changed = true;
+    }
+    auto& outs = process.out_props();
+    const std::size_t outs_before = outs.size();
+    outs.erase(std::remove_if(
+                   outs.begin(), outs.end(),
+                   [peer](const rm::OutProp& e) { return e.process == peer; }),
+               outs.end());
+    if (outs.size() != outs_before) {
+      process.metrics().add("gc.lease_outprops_dropped",
+                            outs_before - outs.size());
+      changed = true;
+    }
+    if (changed) {
+      process.metrics().add("gc.lease_peers_expired");
+      process.note_mutation();
+    }
+  }
+  return expired_scions;
+}
+
 }  // namespace rgc::gc

@@ -115,6 +115,19 @@ class Adgc {
                              const UnreachableMsg& msg);
   static void on_reclaim(rm::Process& process, const net::Envelope& env,
                          const ReclaimMsg& msg);
+
+  /// Lease/timeout reclamation (Allen & Terriberry-style; docs/FAULTS.md):
+  /// retires every scion, inProp and outProp entry whose peer has missed
+  /// its lease — last heard more than `timeout` steps before `now` — so
+  /// garbage anchored by a dead (or long-partitioned) process becomes
+  /// collectable by the normal LGC/ADGC machinery.  Scions go through the
+  /// same retirement path as a NewSetStubs deletion ("adgc.scions_deleted"
+  /// plus "gc.lease_expirations").  Safety is unconditional: a restarting
+  /// process re-registers (Cluster::restart renews leases in both
+  /// directions) and re-binds via the reconciliation protocol before anyone
+  /// acts on its behalf.  Returns the number of scions retired.
+  static std::uint64_t expire_leases(rm::Process& process, std::uint64_t now,
+                                     std::uint64_t timeout);
 };
 
 }  // namespace rgc::gc

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "gc/cycle/summary.h"
+#include "rm/image.h"
 
 namespace rgc::gc {
 
@@ -32,6 +33,42 @@ namespace rgc::gc {
 /// Convenience file wrappers (the "on disk" of §3.5.1).
 bool save_summary(const ProcessSummary& summary, const std::string& path);
 [[nodiscard]] std::optional<ProcessSummary> load_summary(
+    const std::string& path);
+
+// ---- Process images (crash/restart persistence, rm/image.h) --------------
+//
+// Unlike summaries — advisory inputs to offline detection — an image is
+// what a process restarts *from*, so corruption must be detected, never
+// silently rehydrated.  The format therefore carries its own magic/version
+// and a trailing FNV-1a checksum over the payload; validate_image
+// distinguishes the failure modes for the offline checker
+// (obs::check_image) and decode_image refuses anything not pristine.
+
+enum class ImageStatus {
+  kOk,
+  kTruncated,          // shorter than header + checksum
+  kBadMagic,           // not an image file
+  kBadVersion,         // produced by an incompatible writer
+  kChecksumMismatch,   // bit flips or mid-record truncation
+  kMalformed,          // checksum ok but structure undecodable
+};
+
+[[nodiscard]] std::string to_string(ImageStatus status);
+
+/// Serializes a full process image, appending the checksum trailer.
+[[nodiscard]] std::string encode_image(const rm::ProcessImage& image);
+
+/// Structural verdict without building the image (cheap; checker-friendly).
+[[nodiscard]] ImageStatus validate_image(const std::string& bytes);
+
+/// Decodes a buffer produced by encode_image; std::nullopt unless
+/// validate_image(bytes) == kOk and every record decodes cleanly.
+[[nodiscard]] std::optional<rm::ProcessImage> decode_image(
+    const std::string& bytes);
+
+/// Convenience file wrappers.
+bool save_image(const rm::ProcessImage& image, const std::string& path);
+[[nodiscard]] std::optional<rm::ProcessImage> load_image(
     const std::string& path);
 
 }  // namespace rgc::gc

@@ -22,6 +22,77 @@ Network::Network(NetworkConfig config)
 
 void Network::attach(ProcessId process, Handler handler) {
   handlers_[process] = std::move(handler);
+  dead_.erase(process);
+}
+
+void Network::detach(ProcessId process) {
+  handlers_.erase(process);
+  dead_.insert(process);
+  // A crash loses everything addressed to the process *and* everything it
+  // had in flight: those messages existed only in kernel buffers of a node
+  // that no longer exists.
+  const std::size_t purged = purge_in_flight([process](const InFlight& m) {
+    return m.src == process || m.dst == process;
+  });
+  if (purged != 0) {
+    RGC_TRACE("net: detach ", to_string(process), " purged ", purged,
+              " in-flight messages");
+  }
+}
+
+std::uint32_t Network::group_of(ProcessId p) const {
+  const auto it = partition_group_.find(p);
+  return it == partition_group_.end() ? 0 : it->second;
+}
+
+bool Network::reachable(ProcessId src, ProcessId dst) const {
+  if (dead_.contains(src) || dead_.contains(dst)) return false;
+  return group_of(src) == group_of(dst);
+}
+
+void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {
+  partition_group_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const ProcessId p : groups[g]) {
+      partition_group_[p] = static_cast<std::uint32_t>(g);
+    }
+  }
+  // Messages already crossing the cut are lost, not parked: a partition in
+  // this model severs links outright, and heal() re-delivers nothing.
+  purge_in_flight([this](const InFlight& m) {
+    return group_of(m.src) != group_of(m.dst);
+  });
+}
+
+void Network::clear_partition() { partition_group_.clear(); }
+
+std::size_t Network::purge_in_flight(
+    const std::function<bool(const InFlight&)>& pred) {
+  std::size_t purged = 0;
+  auto& trace = util::Trace::instance();
+  for (auto bucket = in_flight_.begin(); bucket != in_flight_.end();) {
+    auto& queue = bucket->second;
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (!pred(*it)) {
+        ++it;
+        continue;
+      }
+      KindCounters& kc = counters_for(it->msg->kind());
+      dropped_.inc();
+      kc.dropped.inc();
+      --kc.in_flight;
+      --in_flight_count_;
+      ++purged;
+      trace.instant("net.purge", it->src, 0, false);
+      if (observer_ != nullptr) {
+        observer_->on_drop(
+            Envelope{it->src, it->dst, it->seq, it->sent_at, it->msg.get()});
+      }
+      it = queue.erase(it);
+    }
+    bucket = queue.empty() ? in_flight_.erase(bucket) : std::next(bucket);
+  }
+  return purged;
 }
 
 Network::KindCounters& Network::counters_for(const char* kind) {
@@ -61,6 +132,19 @@ std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
   }
   if (observer_ != nullptr) {
     observer_->on_send(Envelope{src, dst, seq, now_, msg.get()});
+  }
+  // Fault model: a dead destination or a partition cut loses the message at
+  // the source, reliable or not — "reliable" means the transport never loses
+  // it, not that it outlives the endpoints or a severed link.
+  if (dead_.contains(dst) ||
+      (!partition_group_.empty() && group_of(src) != group_of(dst))) {
+    dropped_.inc();
+    counters.dropped.inc();
+    trace.instant("net.drop", src, 0, false);
+    if (observer_ != nullptr) {
+      observer_->on_drop(Envelope{src, dst, seq, now_, msg.get()});
+    }
+    return seq;
   }
   if (!msg->reliable() && rng_.chance(config_.drop_probability)) {
     dropped_.inc();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,8 +73,47 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Registers the handler that receives messages addressed to `process`.
-  /// Must be called before the first delivery to that process.
+  /// Must be called before the first delivery to that process.  Re-attaching
+  /// a previously detached (crashed) process clears its dead marker — the
+  /// restart path.
   void attach(ProcessId process, Handler handler);
+
+  /// Crash semantics: removes the handler, marks the process dead, and purges
+  /// every in-flight message to or from it (each purge is accounted as a
+  /// drop, so per-kind conservation still holds).  Until a later attach(),
+  /// sends addressed to the process are dropped at the source — a crashed
+  /// node neither receives nor buffers.
+  void detach(ProcessId process);
+
+  /// True when `process` was detached by detach() and not re-attached.
+  [[nodiscard]] bool is_dead(ProcessId process) const {
+    return dead_.contains(process);
+  }
+
+  /// Installs a partition mask: processes in different groups cannot talk.
+  /// Messages crossing the mask are dropped deterministically at send time,
+  /// and crossing in-flight messages are purged immediately (loss semantics
+  /// — heal re-delivers nothing).  Processes not named in any group belong
+  /// to group 0.
+  void set_partition(const std::vector<std::vector<ProcessId>>& groups);
+
+  /// Lifts the partition mask.  Nothing lost during the partition comes
+  /// back; recovery is the protocols' job (Cluster::heal drives it).
+  void clear_partition();
+
+  [[nodiscard]] bool partitioned() const noexcept {
+    return !partition_group_.empty();
+  }
+
+  /// Snapshot of the current mask (pid -> group id; absent = group 0).
+  [[nodiscard]] const std::map<ProcessId, std::uint32_t>& partition_groups()
+      const noexcept {
+    return partition_group_;
+  }
+
+  /// True when a message sent from `src` can currently reach `dst`: both
+  /// endpoints alive and on the same side of any partition mask.
+  [[nodiscard]] bool reachable(ProcessId src, ProcessId dst) const;
 
   /// Observer invoked for every delivery, before the destination handler —
   /// a wire tap for tests and protocol tracing.  Not part of any protocol.
@@ -154,6 +194,13 @@ class Network {
   void enqueue(ProcessId src, ProcessId dst, MessagePtr msg, std::uint64_t seq,
                std::uint64_t sent_at, KindCounters& counters);
 
+  [[nodiscard]] std::uint32_t group_of(ProcessId p) const;
+
+  /// Removes every in-flight message matching `pred`, accounting each as a
+  /// drop (counters + observer), in deterministic (due, send-order) order.
+  /// Returns the number purged.
+  std::size_t purge_in_flight(const std::function<bool(const InFlight&)>& pred);
+
   NetworkConfig config_;
   util::Rng rng_;
   util::Metrics metrics_;
@@ -164,6 +211,12 @@ class Network {
   util::Histogram* queue_depth_hist_{nullptr};
   std::uint64_t now_{0};
   std::map<ProcessId, Handler> handlers_;
+  /// Processes crashed via detach() and not yet re-attached.  Distinct from
+  /// "never attached": delivering to the latter is still a programming error
+  /// (logic_error), while sends to the former are dropped at the source.
+  std::set<ProcessId> dead_;
+  /// Active partition mask (empty = fully connected).  Absent pid = group 0.
+  std::map<ProcessId, std::uint32_t> partition_group_;
   Handler tap_;
   Observer* observer_{nullptr};
   std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> link_seq_;

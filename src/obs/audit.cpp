@@ -71,6 +71,26 @@ void HealthAuditor::on_drop(const net::Envelope& env) {
   }
 }
 
+// ---- Crash/recovery awareness ----------------------------------------------
+
+void HealthAuditor::note_crash(ProcessId pid, const util::Metrics& metrics) {
+  dead_cdms_sent_ +=
+      metrics.get("cycle.cdms_sent") + metrics.get("baseline.cdms_sent");
+  dead_cdms_received_ +=
+      metrics.get("cycle.cdms_received") + metrics.get("baseline.cdms_received");
+  for (auto it = cut_pending_.begin(); it != cut_pending_.end();) {
+    const auto& [holder, key] = *it;
+    it = holder == pid || key.target_process == pid ? cut_pending_.erase(it)
+                                                    : std::next(it);
+  }
+  metrics_.add("audit.crashes_noted");
+}
+
+void HealthAuditor::note_restart(ProcessId pid) {
+  (void)pid;
+  metrics_.add("audit.restarts_noted");
+}
+
 // ---- Audit driver ----------------------------------------------------------
 
 const HealthReport& HealthAuditor::run_scheduled() {
@@ -113,8 +133,14 @@ const HealthReport& HealthAuditor::run(bool deep) {
 void HealthAuditor::check_stub_scion(HealthReport& out) {
   // Retire whitelist entries that resolved: stub gone (holder's LGC caught
   // up) or scion restored (the cut was stale / the link was re-exported).
+  // Entries naming a currently-dead pid wait untouched (note_crash purges
+  // those created before the crash; a restart may re-create the state).
   for (auto it = cut_pending_.begin(); it != cut_pending_.end();) {
     const auto& [holder, key] = *it;
+    if (!cluster_.is_alive(holder) || !cluster_.is_alive(key.target_process)) {
+      ++it;
+      continue;
+    }
     const rm::Process& proc = cluster_.process(holder);
     const bool stub_gone = proc.find_stub(key) == nullptr;
     bool scion_back = false;
@@ -126,6 +152,16 @@ void HealthAuditor::check_stub_scion(HealthReport& out) {
     it = stub_gone || scion_back ? cut_pending_.erase(it) : std::next(it);
   }
 
+  const net::Network& net = cluster_.network();
+  // Reconciliation traffic legitimately rebuilds (or severs) stub/scion
+  // pairs; while any is in flight a mismatch is transient, not a violation.
+  const bool reconciling = net.in_flight_of("Recover") != 0 ||
+                           net.in_flight_of("Rebind") != 0 ||
+                           net.in_flight_of("RebindNack") != 0 ||
+                           net.in_flight_of("PropSync") != 0;
+  const std::uint64_t lease_timeout = cluster_.config().lease_timeout;
+  const std::uint64_t now = cluster_.now();
+
   std::uint64_t floating_scions = 0;
   for (ProcessId pid : cluster_.process_ids()) {
     const rm::Process& proc = cluster_.process(pid);
@@ -134,16 +170,32 @@ void HealthAuditor::check_stub_scion(HealthReport& out) {
     // creates the scion causally before the stub can exist, so an in-flight
     // Propagate never explains a missing one).
     for (const auto& [key, stub] : proc.stubs()) {
+      // A stub toward a crashed process is the surviving half of a
+      // reference the reconciliation protocol settles at restart — the
+      // remote state is unobservable until then.
+      if (!cluster_.is_alive(key.target_process)) continue;
       const rm::Process& target = cluster_.process(key.target_process);
       auto sit = target.scions().find(rm::ScionKey{pid, key.target});
       if (sit == target.scions().end()) {
         const bool pending = cut_pending_.contains({pid, key});
+        // Recovery windows where the missing twin is expected: the target
+        // lease-expired us (rebind pending), a partition blocks the pair,
+        // or reconciliation traffic is still in flight.
+        const bool lease_retired =
+            lease_timeout > 0 && now >= target.last_heard(pid) + lease_timeout;
+        const bool unreachable = !net.reachable(pid, key.target_process);
+        const char* why = pending ? " awaiting post-cut LGC retirement"
+                          : lease_retired
+                              ? " lease-retired, awaiting rebind"
+                          : unreachable ? " unreachable (partitioned)"
+                          : reconciling ? " reconciliation in flight"
+                                        : " has no matching scion";
+        const bool benign = pending || lease_retired || unreachable ||
+                            reconciling;
         out.findings.push_back(Finding{
-            pending ? Severity::kWarn : Severity::kError, "stub_scion", pid,
+            benign ? Severity::kWarn : Severity::kError, "stub_scion", pid,
             "stub " + rgc::to_string(key.target) + "->" +
-                rgc::to_string(key.target_process) +
-                (pending ? " awaiting post-cut LGC retirement"
-                         : " has no matching scion")});
+                rgc::to_string(key.target_process) + why});
         continue;
       }
       // The stub's IC leads the scion's while an Invoke travels; the scion
@@ -160,8 +212,14 @@ void HealthAuditor::check_stub_scion(HealthReport& out) {
     }
 
     // Scions without stub twins are normal floating state (stub retired,
-    // NewSetStubs round not yet landed): a gauge, not a finding.
+    // NewSetStubs round not yet landed): a gauge, not a finding.  A scion
+    // owned by a crashed process counts as floating until the owner
+    // restarts and rebinds (or its lease expires).
     for (const auto& [key, scion] : proc.scions()) {
+      if (!cluster_.is_alive(key.src_process)) {
+        ++floating_scions;
+        continue;
+      }
       const rm::Process& holder = cluster_.process(key.src_process);
       if (holder.find_stub(rm::StubKey{key.anchor, pid}) == nullptr) {
         ++floating_scions;
@@ -181,12 +239,18 @@ void HealthAuditor::check_prop_pairing(HealthReport& out) {
   const bool quiet = net.in_flight_of("Propagate") == 0 &&
                      net.in_flight_of("Reclaim") == 0 &&
                      net.in_flight_of("Cut") == 0 &&
-                     net.in_flight_of("PropCut") == 0;
+                     net.in_flight_of("PropCut") == 0 &&
+                     net.in_flight_of("PropSync") == 0;
   const Severity sev = quiet ? Severity::kError : Severity::kWarn;
 
   for (ProcessId pid : cluster_.process_ids()) {
     const rm::Process& proc = cluster_.process(pid);
     for (const rm::InProp& e : proc.in_props()) {
+      // A dead or unreachable partner's half of the link is unobservable;
+      // lease expiry or restart reconciliation settles it.
+      if (!cluster_.is_alive(e.process) || !net.reachable(pid, e.process)) {
+        continue;
+      }
       const rm::Process& parent = cluster_.process(e.process);
       if (parent.find_out_prop(e.object, pid) == nullptr) {
         out.findings.push_back(Finding{
@@ -197,6 +261,9 @@ void HealthAuditor::check_prop_pairing(HealthReport& out) {
       }
     }
     for (const rm::OutProp& e : proc.out_props()) {
+      if (!cluster_.is_alive(e.process) || !net.reachable(pid, e.process)) {
+        continue;
+      }
       const rm::Process& child = cluster_.process(e.process);
       if (child.find_in_prop(e.object, pid) == nullptr) {
         out.findings.push_back(Finding{
@@ -227,8 +294,8 @@ void HealthAuditor::check_conservation(HealthReport& out) {
 
   // Cross-layer identity: every CDM on the wire was issued by a detector
   // and every delivery reached one.
-  std::uint64_t det_sent = 0;
-  std::uint64_t det_received = 0;
+  std::uint64_t det_sent = dead_cdms_sent_;
+  std::uint64_t det_received = dead_cdms_received_;
   for (ProcessId pid : cluster_.process_ids()) {
     const util::Metrics& m = cluster_.process(pid).metrics();
     det_sent += m.get("cycle.cdms_sent") + m.get("baseline.cdms_sent");

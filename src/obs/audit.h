@@ -82,6 +82,21 @@ class HealthAuditor final : public net::Network::Observer {
   /// Full audit on demand: shallow + deep (+ oracle when configured).
   const HealthReport& run_deep();
 
+  // ---- Crash/recovery awareness (docs/FAULTS.md) -------------------------
+
+  /// Called by Cluster::kill just before `pid`'s state is destroyed: banks
+  /// the dying process's contribution to the cross-layer CDM conservation
+  /// identity (its counters are about to vanish while the network totals
+  /// remain) and drops cut whitelist entries that named it — so a crash
+  /// never manufactures false conservation ERRORs.
+  void note_crash(ProcessId pid, const util::Metrics& metrics);
+
+  /// Called by Cluster::restart after `pid` is live again.  The banked
+  /// contributions from note_crash stay banked (the restarted process's
+  /// counters start from zero); nothing needs undoing — the hook exists so
+  /// the recovery is visible in the auditor's own counters.
+  void note_restart(ProcessId pid);
+
   /// Latest report (empty before the first run).
   [[nodiscard]] const HealthReport& report() const noexcept { return report_; }
 
@@ -116,6 +131,11 @@ class HealthAuditor final : public net::Network::Observer {
   std::map<std::uint64_t, std::int64_t> cdm_outstanding_;
   bool cdm_negative_{false};
   std::string cdm_negative_detail_;
+
+  /// CDM counters banked from crashed processes (note_crash): the identity
+  /// becomes live detector sums + banked == network totals.
+  std::uint64_t dead_cdms_sent_{0};
+  std::uint64_t dead_cdms_received_{0};
 
   /// Stubs whose matching scion was deleted by a cycle-verdict Cut; the
   /// holder's next LGC retires them (the proven-dead cycle no longer marks

@@ -46,6 +46,10 @@ void Process::propagate(ObjectId object, ProcessId to) {
   // than the next simulation step, so creating them here preserves the
   // causal order scion-before-stub.
   export_references(*obj, to, seq);
+  // Lease grace: a freshly exported scion's owner starts with a full lease
+  // even if we have never heard from it (the propagate itself is evidence
+  // we believe it alive).
+  note_heard(to, network_->now());
   counters_.propagations.inc();
   // UC bump, rec_umess reset and scion creation/refresh all change the
   // summary this process would snapshot.
@@ -146,6 +150,17 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
   if (it == scions_.end()) {
     // Reliable FIFO transport plus scion-before-stub ordering make this
     // unreachable in a well-formed run; failing loudly catches harness bugs.
+    // With faults in play it IS reachable — an invoke can race a restart
+    // from a snapshot that predates the scion, or a lease expiry during a
+    // partition — so fault-tolerant mode drops the call instead (the
+    // reconciliation protocol re-creates the scion; see docs/FAULTS.md).
+    if (fault_tolerant_) {
+      metrics_.add("rm.invocations_orphaned");
+      RGC_WARN("rm: ", to_string(id_), " dropped invoke of ",
+               to_string(msg.target), " from ", to_string(env.src),
+               " (no scion; recovery in progress)");
+      return;
+    }
     throw std::logic_error("on_invoke: no scion for " + to_string(msg.target) +
                            " from " + to_string(env.src) + " on " +
                            to_string(id_));
@@ -164,6 +179,14 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
     // caller would (the race barrier sees every traversed link move).
     Stub* next = first_stub_for(msg.target);
     if (next == nullptr) {
+      // Same fault window as the missing-scion case above: a chain hop can
+      // be lost to a stale restart snapshot or a RebindNack severance.
+      if (fault_tolerant_) {
+        metrics_.add("rm.invocations_orphaned");
+        RGC_WARN("rm: ", to_string(id_), " dropped chained invoke of ",
+                 to_string(msg.target), " (chain hop lost to a fault)");
+        return;
+      }
       throw std::logic_error("on_invoke: chain broken for " +
                              to_string(msg.target) + " on " + to_string(id_));
     }
@@ -176,6 +199,121 @@ void Process::on_invoke(const net::Envelope& env, const InvokeMsg& msg) {
     network_->send(id_, stub.key.target_process, std::move(fwd));
     counters_.invocations_forwarded.inc();
   }
+}
+
+// ---- Fault-tolerance protocol (docs/FAULTS.md) ---------------------------
+
+void Process::on_rebind(const net::Envelope& env, const RebindMsg& msg) {
+  note_heard(env.src, network_->now());
+  if (!knows(msg.anchor)) {
+    // The anchor died with whatever state this process lost; tell the
+    // holder its stub dangles so it can sever the chain.
+    auto nack = std::make_unique<RebindNackMsg>();
+    nack->anchor = msg.anchor;
+    network_->send(id_, env.src, std::move(nack));
+    metrics_.add("rm.rebind_nacks_sent");
+    return;
+  }
+  const ScionKey key{env.src, msg.anchor};
+  auto [it, inserted] = scions_.try_emplace(key);
+  Scion& scion = it->second;
+  scion.key = key;
+  // Counters never run backwards across a recovery: the stub side's history
+  // wins when it is ahead (our scion may predate lost invocations).
+  scion.ic = std::max(scion.ic, msg.ic);
+  // created_seq deliberately keeps its value (0 for a fresh rebind): the
+  // crash/partition purged any NewSetStubs computed before this window, and
+  // post-recovery stub sets include the rebound stub, so no in-flight
+  // propagation horizon needs to protect it.
+  if (inserted) {
+    counters_.scions_created.inc();
+    metrics_.add("rm.scions_rebound");
+  }
+  note_mutation();
+  RGC_DEBUG("rm: ", to_string(id_), " rebound scion ", to_string(msg.anchor),
+            " for ", to_string(env.src));
+}
+
+void Process::on_rebind_nack(const net::Envelope& env,
+                             const RebindNackMsg& msg) {
+  note_heard(env.src, network_->now());
+  sever_stub(StubKey{msg.anchor, env.src});
+}
+
+void Process::on_prop_sync(const net::Envelope& env, const PropSyncMsg& msg) {
+  note_heard(env.src, network_->now());
+  // msg.objects is sorted by the sender (reconciliation emits it that way).
+  std::uint64_t dropped = 0;
+  for (auto it = in_props_.begin(); it != in_props_.end();) {
+    if (it->process == env.src &&
+        !std::binary_search(msg.objects.begin(), msg.objects.end(),
+                            it->object)) {
+      it = in_props_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped != 0) {
+    metrics_.add("rm.inprops_synced_out", dropped);
+    note_mutation();
+    RGC_DEBUG("rm: ", to_string(id_), " dropped ", dropped,
+              " stale inProps from ", to_string(env.src));
+  }
+}
+
+void Process::sever_stub(StubKey key) {
+  if (!erase_stub(key)) return;
+  const ObjectId target = key.target;
+  const bool local = heap_.contains(target);
+  const Stub* alt = first_stub_for(target);
+
+  // References bound through the severed stub rebind through the local
+  // replica or an alternative chain when one exists, and are removed
+  // otherwise (the remote object is unreachable from here for good).
+  std::uint64_t removed = 0;
+  for (auto& [id, obj] : heap_.objects()) {
+    for (auto it = obj.refs.begin(); it != obj.refs.end();) {
+      if (it->target != target || it->via != key.target_process) {
+        ++it;
+        continue;
+      }
+      if (local) {
+        it->via = kNoProcess;
+        ++it;
+      } else if (alt != nullptr) {
+        it->via = alt->key.target_process;
+        ++it;
+      } else {
+        it = obj.refs.erase(it);
+        ++removed;
+      }
+    }
+  }
+  if (!local && alt == nullptr) {
+    // Nothing resolves the target here anymore: roots pinning it are void,
+    // and our own scions anchored at it now dangle — cascade the nack
+    // upstream so their holders sever too (SSP chain teardown; finite,
+    // since every hop deletes its scion before notifying).
+    heap_.remove_root(target);
+    transient_roots_.erase(target);
+    for (auto it = scions_.begin(); it != scions_.end();) {
+      if (it->first.anchor != target) {
+        ++it;
+        continue;
+      }
+      auto nack = std::make_unique<RebindNackMsg>();
+      nack->anchor = target;
+      network_->send(id_, it->first.src_process, std::move(nack));
+      metrics_.add("rm.rebind_nacks_sent");
+      it = scions_.erase(it);
+    }
+  }
+  metrics_.add("rm.stubs_severed");
+  if (removed != 0) metrics_.add("rm.refs_severed", removed);
+  note_mutation();
+  RGC_DEBUG("rm: ", to_string(id_), " severed stub ", to_string(target),
+            " -> ", to_string(key.target_process));
 }
 
 }  // namespace rgc::rm

@@ -1,0 +1,58 @@
+// Full-state process image for crash/restart persistence.
+//
+// snapshot_io v3 persists only the cycle detector's ProcessSummary — enough
+// for offline detection, not enough to bring a process back.  A ProcessImage
+// is the complement: a consistent copy of everything restore needs to
+// rebuild a Process object — heap content with reference bindings, roots,
+// the DGC tables (stubs/scions/props) and the protocol cursors (delivered
+// propagate sequences, collection epochs).  Captured by
+// Process::capture_image, rehydrated by Process::restore_image, serialized
+// with checksumming by gc/cycle/snapshot_io (encode_image/decode_image).
+//
+// The image is the paper's "snapshot periodically stored on disk": restart
+// resumes from it, the reconciliation protocol (docs/FAULTS.md) brings
+// everything that happened after the capture back into agreement.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rm/object.h"
+#include "rm/tables.h"
+#include "util/ids.h"
+
+namespace rgc::rm {
+
+/// One heap replica as persisted: identity, bound references, payload.
+struct ImageObject {
+  ObjectId id{kNoObject};
+  std::vector<Ref> refs;
+  std::uint32_t payload_bytes{16};
+  bool finalizable{false};
+};
+
+struct ProcessImage {
+  ProcessId process{kNoProcess};
+  /// Step at which the image was captured (diagnostics).
+  std::uint64_t taken_at{0};
+  /// Process mutation epoch at capture; a restart rejects an image older
+  /// than the most recent persist (stale-snapshot guard, obs::check_image).
+  std::uint64_t mutation_epoch{0};
+  std::uint64_t collection_epoch{0};
+
+  std::vector<ImageObject> objects;
+  std::vector<ObjectId> roots;
+  std::vector<std::pair<ObjectId, std::uint32_t>> transient_roots;
+
+  std::vector<Stub> stubs;
+  std::vector<Scion> scions;
+  std::vector<InProp> in_props;
+  std::vector<OutProp> out_props;
+
+  std::vector<std::pair<ProcessId, std::uint64_t>> delivered_prop_seq;
+  std::vector<ProcessId> stub_peers;
+  std::vector<std::pair<ProcessId, std::uint64_t>> newsetstubs_epochs;
+};
+
+}  // namespace rgc::rm

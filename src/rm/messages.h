@@ -34,6 +34,72 @@ struct PropagateMsg final : net::Message {
   }
 };
 
+/// Announces that the sender just restarted (possibly from a stale
+/// snapshot).  Receivers reset their NewSetStubs stale-epoch record for the
+/// sender — its collection-epoch counter restarted too — and run their half
+/// of the reconciliation protocol toward it (rebinds, re-propagations,
+/// prop-sync; see docs/FAULTS.md).
+struct RecoverMsg final : net::Message {
+  /// Restart count of the sender (1 = first recovery), for diagnostics.
+  std::uint64_t incarnation{0};
+
+  [[nodiscard]] const char* kind() const noexcept override { return "Recover"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<RecoverMsg>(*this);
+  }
+};
+
+/// "I hold a stub for `anchor` toward you — make sure the matching scion
+/// exists."  Sent during reconciliation for every stub whose scion may have
+/// been lost to a crash, a stale snapshot, or a lease expiry.  The receiver
+/// re-creates (or refreshes) the scion if it still knows the anchor, else
+/// answers with RebindNackMsg.
+struct RebindMsg final : net::Message {
+  ObjectId anchor{kNoObject};
+  /// Stub-side IC; the scion adopts max(its IC, this) so the race barrier's
+  /// counters never run backwards across a recovery.
+  std::uint64_t ic{0};
+
+  [[nodiscard]] const char* kind() const noexcept override { return "Rebind"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<RebindMsg>(*this);
+  }
+};
+
+/// "I no longer know `anchor` — your stub dangles."  The receiver severs the
+/// stub and every reference bound through it (rebinding through a local
+/// replica or an alternative chain when one exists), cascading further
+/// nacks upstream if that makes its own scions for the anchor unresolvable.
+struct RebindNackMsg final : net::Message {
+  ObjectId anchor{kNoObject};
+
+  [[nodiscard]] const char* kind() const noexcept override { return "RebindNack"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<RebindNackMsg>(*this);
+  }
+};
+
+/// The sender's complete list of objects it still propagates to the
+/// receiver.  The receiver drops any inProp entry from the sender that is
+/// not on the list — propagation links whose parent side died with the
+/// sender's lost state.  Sent after the re-propagations of the surviving
+/// links (same reliable FIFO link), so a fresh inProp is never dropped.
+struct PropSyncMsg final : net::Message {
+  std::vector<ObjectId> objects;
+
+  [[nodiscard]] const char* kind() const noexcept override { return "PropSync"; }
+  [[nodiscard]] bool reliable() const noexcept override { return true; }
+  [[nodiscard]] std::size_t weight() const noexcept override {
+    return 1 + objects.size();
+  }
+  [[nodiscard]] std::unique_ptr<net::Message> clone() const override {
+    return std::make_unique<PropSyncMsg>(*this);
+  }
+};
+
 struct InvokeMsg final : net::Message {
   ObjectId target{kNoObject};
   /// Stub-side IC after the pre-send bump; the receiving scion adopts it so

@@ -185,6 +185,63 @@ class Process {
   void on_propagate(const net::Envelope& env, const PropagateMsg& msg);
   void on_invoke(const net::Envelope& env, const InvokeMsg& msg);
 
+  // ---- Fault-tolerance protocol (docs/FAULTS.md) -----------------------
+
+  /// Callee side of reconciliation: re-creates (or refreshes) the scion for
+  /// `msg.anchor` held by env.src, or answers RebindNack when the anchor is
+  /// no longer resolvable here (lost with a stale snapshot).
+  void on_rebind(const net::Envelope& env, const RebindMsg& msg);
+
+  /// Holder side: the peer no longer knows the anchor — sever the stub
+  /// toward env.src and everything bound through it.
+  void on_rebind_nack(const net::Envelope& env, const RebindNackMsg& msg);
+
+  /// Drops inProp entries from env.src absent from msg.objects (links whose
+  /// parent side died with the sender's lost state).
+  void on_prop_sync(const net::Envelope& env, const PropSyncMsg& msg);
+
+  /// Severs the stub `key` plus every reference bound through it.  Refs are
+  /// rebound through a local replica or an alternative stub chain when one
+  /// exists; otherwise they (and roots left unresolvable) are removed, and
+  /// RebindNacks cascade upstream for scions this makes unresolvable.
+  void sever_stub(StubKey key);
+
+  /// In fault-tolerant mode an Invoke racing a crash/lease window may reach
+  /// a callee without the matching scion or chain stub; the process then
+  /// drops it (counted, "rm.invocations_orphaned") instead of treating it
+  /// as a protocol violation.  Set by the Cluster once fault injection or
+  /// leases are in play; default off, preserving the strict guards.
+  void set_fault_tolerant(bool on) noexcept { fault_tolerant_ = on; }
+  [[nodiscard]] bool fault_tolerant() const noexcept { return fault_tolerant_; }
+
+  // ---- Lease bookkeeping (docs/FAULTS.md) ------------------------------
+
+  /// Records evidence that `peer` was alive at `step`: every delivery from
+  /// it (heartbeats piggyback on existing traffic), plus the out-of-band
+  /// keepalive floor the Cluster runs between mutually reachable processes.
+  /// Deliberately does NOT bump the mutation epoch — renewals are not
+  /// snapshot-relevant.
+  void note_heard(ProcessId peer, std::uint64_t step) {
+    auto& at = last_heard_[peer];
+    if (step > at) at = step;
+  }
+
+  /// Last step `peer` was known alive (0 = never heard from).
+  [[nodiscard]] std::uint64_t last_heard(ProcessId peer) const {
+    const auto it = last_heard_.find(peer);
+    return it == last_heard_.end() ? 0 : it->second;
+  }
+
+  // ---- Crash/restart persistence (rm/image.h) --------------------------
+
+  /// Consistent copy of the full GC-relevant state, for persistence.
+  [[nodiscard]] struct ProcessImage capture_image(std::uint64_t now) const;
+
+  /// Replaces all state with `image` (restart-from-snapshot).  Leases for
+  /// every peer named in the image are renewed to `now` — a restarting
+  /// process re-registers before anyone may reclaim on its behalf.
+  void restore_image(const struct ProcessImage& image, std::uint64_t now);
+
   /// Advances process-local time: expires transient invocation roots.
   void tick();
 
@@ -383,6 +440,9 @@ class Process {
   std::size_t reclaim_ring_next_{0};
   std::uint64_t reclaims_noted_{0};
   std::map<ProcessId, std::uint64_t> newsetstubs_epochs_;
+  /// Lease table: last step each peer was known alive (see note_heard).
+  std::map<ProcessId, std::uint64_t> last_heard_;
+  bool fault_tolerant_{false};
   util::Metrics metrics_;
   ProcessCounters counters_{metrics_};
 };

@@ -1,0 +1,164 @@
+#include "workload/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace rgc::workload {
+
+std::string to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kKill:
+      return "kill";
+    case FaultEvent::Kind::kRestart:
+      return "restart";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kPersist:
+      return "persist";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(const std::vector<ProcessId>& pids,
+                            const FaultPlanSpec& spec) {
+  FaultPlan plan;
+  if (pids.empty()) return plan;
+  util::Rng rng{spec.seed};
+  const std::uint64_t last = spec.start + spec.horizon;
+
+  // Periodic persist-alls, so kills have fresh images to restart from.
+  if (spec.persist_period != 0) {
+    for (std::uint64_t at = spec.start; at <= last; at += spec.persist_period) {
+      plan.events.push_back(
+          FaultEvent{at, FaultEvent::Kind::kPersist, kNoProcess, {}});
+    }
+  }
+
+  // Crash/restart pairs.  Victims are drawn per event (the same pid may be
+  // hit twice — the runner's guards make that legal); downtime is bounded
+  // so the plan always brings everyone back before the horizon ends.
+  for (std::size_t i = 0; i < spec.kills; ++i) {
+    const std::uint64_t at =
+        spec.start + rng.below(spec.horizon > 0 ? spec.horizon : 1);
+    const std::uint64_t down = static_cast<std::uint64_t>(rng.range(
+        static_cast<std::int64_t>(spec.min_downtime),
+        static_cast<std::int64_t>(
+            std::max(spec.min_downtime, spec.max_downtime))));
+    const ProcessId victim = pids[rng.below(pids.size())];
+    plan.events.push_back(FaultEvent{at, FaultEvent::Kind::kKill, victim, {}});
+    plan.events.push_back(
+        FaultEvent{at + down, FaultEvent::Kind::kRestart, victim, {}});
+  }
+
+  // Partition episodes: a random nonempty/nontotal split, healed later.
+  for (std::size_t i = 0; i < spec.partitions && pids.size() >= 2; ++i) {
+    const std::uint64_t at =
+        spec.start + rng.below(spec.horizon > 0 ? spec.horizon : 1);
+    std::vector<ProcessId> left;
+    std::vector<ProcessId> right;
+    for (ProcessId pid : pids) {
+      (rng.chance(0.5) ? left : right).push_back(pid);
+    }
+    if (left.empty()) {
+      left.push_back(right.back());
+      right.pop_back();
+    }
+    if (right.empty()) {
+      right.push_back(left.back());
+      left.pop_back();
+    }
+    FaultEvent part{at, FaultEvent::Kind::kPartition, kNoProcess, {}};
+    part.groups = {left, right};
+    plan.events.push_back(std::move(part));
+    plan.events.push_back(FaultEvent{at + spec.partition_width,
+                                     FaultEvent::Kind::kHeal, kNoProcess, {}});
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_step < b.at_step;
+                   });
+  return plan;
+}
+
+FaultPlanRunner::FaultPlanRunner(core::Cluster& cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)) {}
+
+std::size_t FaultPlanRunner::poll() {
+  std::size_t fired = 0;
+  while (next_ < plan_.events.size() &&
+         plan_.events[next_].at_step <= cluster_.now()) {
+    fired += apply(plan_.events[next_]) ? 1 : 0;
+    ++next_;
+  }
+  return fired;
+}
+
+void FaultPlanRunner::finish() {
+  while (next_ < plan_.events.size()) {
+    apply(plan_.events[next_]);
+    ++next_;
+  }
+  if (cluster_.partitioned()) cluster_.heal();
+  for (ProcessId pid : cluster_.dead_process_ids()) cluster_.restart(pid);
+}
+
+bool FaultPlanRunner::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kKill: {
+      // State guards keep seeded plans legal whatever the interleaving
+      // did, and the safety floor never kills the last live process.
+      if (!cluster_.is_alive(event.pid) || cluster_.process_count() <= 1) {
+        ++skipped_;
+        return false;
+      }
+      cluster_.kill(event.pid);
+      break;
+    }
+    case FaultEvent::Kind::kRestart: {
+      if (cluster_.is_alive(event.pid)) {
+        ++skipped_;
+        return false;
+      }
+      cluster_.restart(event.pid);
+      break;
+    }
+    case FaultEvent::Kind::kPartition: {
+      if (cluster_.partitioned()) {
+        ++skipped_;
+        return false;
+      }
+      cluster_.partition(event.groups);
+      break;
+    }
+    case FaultEvent::Kind::kHeal: {
+      if (!cluster_.partitioned()) {
+        ++skipped_;
+        return false;
+      }
+      cluster_.heal();
+      break;
+    }
+    case FaultEvent::Kind::kPersist: {
+      if (event.pid == kNoProcess) {
+        cluster_.persist_all();
+      } else if (cluster_.is_alive(event.pid)) {
+        cluster_.persist(event.pid);
+      } else {
+        ++skipped_;
+        return false;
+      }
+      break;
+    }
+  }
+  ++applied_;
+  RGC_DEBUG("fault_plan: applied ", to_string(event.kind), " at step ",
+            cluster_.now());
+  return true;
+}
+
+}  // namespace rgc::workload

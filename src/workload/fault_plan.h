@@ -1,0 +1,105 @@
+// Seeded chaos schedules for the fault-tolerance layer (docs/FAULTS.md).
+//
+// A FaultPlan is a deterministic, step-stamped list of fault events —
+// crash, restart-from-snapshot, partition, heal, persist — generated once
+// from a seed and then *applied* by a FaultPlanRunner as the simulation
+// advances: the driver interleaves RandomMutator operations with
+// runner.poll(), and every event fires exactly when the cluster clock
+// reaches its stamp.  Same seed, same plan, same run.
+//
+// Writing a plan by hand is just building the events vector; see
+// tests/recovery_test.cpp for hand-written plans and tests/chaos_test.cpp
+// for random ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "util/ids.h"
+
+namespace rgc::workload {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kKill, kRestart, kPartition, kHeal, kPersist };
+
+  /// Cluster step the event fires at (first step >= this, in poll order).
+  std::uint64_t at_step{0};
+  Kind kind{Kind::kKill};
+  /// Target for kill/restart/persist; kNoProcess on persist means "all".
+  ProcessId pid{kNoProcess};
+  /// Partition groups (kPartition only).  Pids absent from every group are
+  /// unaffected by the mask.
+  std::vector<std::vector<ProcessId>> groups;
+};
+
+[[nodiscard]] std::string to_string(FaultEvent::Kind kind);
+
+struct FaultPlanSpec {
+  std::uint64_t seed{1};
+  /// First step any fault may fire at (lets the workload build real state
+  /// first) and the horizon faults are scheduled within.
+  std::uint64_t start{16};
+  std::uint64_t horizon{400};
+  /// Crash count; each kill is paired with a restart after a random
+  /// downtime in [min_downtime, max_downtime] steps.
+  std::size_t kills{3};
+  std::uint64_t min_downtime{8};
+  std::uint64_t max_downtime{64};
+  /// Partition episodes; each heals partition_width steps later.
+  std::size_t partitions{1};
+  std::uint64_t partition_width{48};
+  /// Cadence of persist-all events (0 disables; kills then restart from
+  /// whatever image exists, possibly none).  Concurrent-death pressure is
+  /// bounded by the runner's floor (the last live process is never killed).
+  std::uint64_t persist_period{32};
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Deterministically generates a plan over `pids` from `spec.seed`:
+  /// periodic persist-alls, `kills` crash/restart pairs, and `partitions`
+  /// partition/heal pairs, all stamped within [start, start + horizon] and
+  /// sorted by step (ties fire in emission order).
+  [[nodiscard]] static FaultPlan random(const std::vector<ProcessId>& pids,
+                                       const FaultPlanSpec& spec);
+};
+
+/// Applies a FaultPlan against a live cluster.  poll() fires every event
+/// whose stamp has been reached, with state guards making plans robust to
+/// drift (kill only a live pid, restart only a dead one, partition only an
+/// unpartitioned net, heal only a partitioned one) and a safety floor that
+/// never kills the last live process.  Skipped events are counted, not
+/// errors — a seeded plan stays applicable whatever the interleaving did.
+class FaultPlanRunner {
+ public:
+  FaultPlanRunner(core::Cluster& cluster, FaultPlan plan);
+
+  /// Fires all events due at the cluster's current step.  Returns the
+  /// number applied (not skipped).
+  std::size_t poll();
+
+  /// True once every event has been consumed.
+  [[nodiscard]] bool done() const noexcept { return next_ >= plan_.events.size(); }
+
+  /// Drains the schedule: applies every remaining event regardless of
+  /// stamp, heals any partition, and restarts every dead process — the
+  /// "end of chaos" step before asserting convergence.
+  void finish();
+
+  [[nodiscard]] std::size_t applied() const noexcept { return applied_; }
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+ private:
+  bool apply(const FaultEvent& event);
+
+  core::Cluster& cluster_;
+  FaultPlan plan_;
+  std::size_t next_{0};
+  std::size_t applied_{0};
+  std::size_t skipped_{0};
+};
+
+}  // namespace rgc::workload

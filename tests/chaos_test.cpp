@@ -2,15 +2,24 @@
 // daemon, fault injection (loss, duplication, jitter) — with the oracle
 // checking safety after every burst and completeness at the end.
 //
-// scripts/check.sh re-runs these with RGC_CHAOS_AUDIT=1 (audit every step)
-// and RGC_CHAOS_THREADS=4 so the online health auditor rides along under
-// both sanitizers; any auditor ERROR fails the run.
+// The FaultChaos suite layers the crash/recovery fault model on top
+// (docs/FAULTS.md): seeded FaultPlans drive kills, restarts-from-snapshot,
+// partitions and heals through the same workload.  The acceptance test
+// always runs; the heavier legs are gated behind RGC_CHAOS_FAULTS=1.
+//
+// scripts/check.sh re-runs these with RGC_CHAOS_AUDIT=1 (audit every step),
+// RGC_CHAOS_THREADS=4 and RGC_CHAOS_FAULTS=1 so the online health auditor
+// and the fault layer ride along under both sanitizers; any auditor ERROR
+// fails the run.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "core/daemon.h"
 #include "core/oracle.h"
+#include "obs/check.h"
+#include "workload/fault_plan.h"
 #include "workload/random_mutator.h"
 
 namespace rgc {
@@ -124,6 +133,166 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosCase{104, 5, 0.3, 0.2, 5, CandidatePolicy::kExhaustive},
         ChaosCase{105, 3, 0.2, 0.1, 3, CandidatePolicy::kDistance},
         ChaosCase{106, 4, 0.2, 0.1, 3, CandidatePolicy::kSuspicionAge}),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// ---- Fault chaos: crashes, restarts, partitions under full load ----------
+
+bool fault_legs_enabled() { return env_u64("RGC_CHAOS_FAULTS", 0) != 0; }
+
+/// Everything a fault-chaos run observed, comparable across runs of the
+/// same seed for the reproducibility guarantee.
+struct FaultRunOutcome {
+  std::size_t garbage{0};
+  std::size_t violations{0};
+  std::uint64_t audit_errors{0};
+  bool checker_ok{false};
+  std::size_t plan_events{0};
+  std::size_t applied{0};
+  std::size_t skipped{0};
+  std::uint64_t crashes{0};
+  std::uint64_t recoveries{0};
+  std::uint64_t lease_expirations{0};
+  std::uint64_t total_objects{0};
+  std::string detail;
+
+  bool operator==(const FaultRunOutcome&) const = default;
+};
+
+/// One full fault-chaos scenario: a leased cluster under random mutation
+/// and the GC daemon, with a seeded FaultPlan firing kills, restarts,
+/// partitions, heals and persist-alls mid-flight; then end-of-chaos
+/// (heal + restart everyone), quiescence, and GC until dry.
+FaultRunOutcome run_fault_chaos(std::uint64_t seed, std::size_t processes,
+                                double drop, double dup,
+                                std::uint32_t max_delay, bool env_overrides) {
+  ClusterConfig cfg;
+  cfg.net.seed = seed;
+  cfg.net.drop_probability = drop;
+  cfg.net.duplicate_probability = dup;
+  cfg.net.min_delay = 1;
+  cfg.net.max_delay = max_delay;
+  cfg.candidate_threshold = 2;
+  cfg.lease_timeout = 48;
+  if (env_overrides) apply_env_overrides(cfg);
+  Cluster cluster{cfg};
+  for (std::size_t i = 0; i < processes; ++i) cluster.add_process();
+
+  workload::FaultPlanSpec plan_spec;
+  plan_spec.seed = seed * 31 + 7;
+  plan_spec.kills = 4;
+  plan_spec.partitions = 1;
+  plan_spec.start = 24;
+  plan_spec.horizon = 360;
+  const auto plan =
+      workload::FaultPlan::random(cluster.process_ids(), plan_spec);
+  workload::FaultPlanRunner runner{cluster, plan};
+
+  workload::MutatorSpec spec;
+  spec.seed = seed * 7919 + 31;
+  spec.w_collect = 0;  // the daemon collects
+  spec.w_step = 5;
+  workload::RandomMutator mutator{cluster, spec};
+  GcDaemon daemon{cluster};
+
+  // Interleave mutation, background GC (detection included — kills land
+  // mid-detection), and the fault schedule until the plan drains.
+  for (int round = 0; round < 60; ++round) {
+    mutator.run(12);
+    daemon.run(3);
+    runner.poll();
+    if (runner.done() && cluster.now() > plan_spec.start + plan_spec.horizon) {
+      break;
+    }
+  }
+  runner.finish();  // heal + restart everyone: end of chaos
+  cluster.run_until_quiescent();
+
+  bool dry = false;
+  FaultRunOutcome out;
+  for (int attempt = 0; attempt < 60 && !dry; ++attempt) {
+    cluster.run_full_gc(3);
+    const auto report = Oracle::analyze(cluster);
+    out.violations = report.violations.size();
+    if (out.violations != 0) {
+      out.detail = report.violations.front();
+      break;
+    }
+    dry = report.garbage_objects().empty();
+  }
+  out.garbage = Oracle::analyze(cluster).garbage_objects().size();
+
+  const auto& health = cluster.audit();
+  out.audit_errors = health.errors();
+  if (out.audit_errors != 0) out.detail = health.to_string();
+  const auto consistency = obs::check_cluster(cluster);
+  out.checker_ok = consistency.ok();
+  if (!out.checker_ok && out.detail.empty()) out.detail = consistency.to_string();
+
+  out.plan_events = plan.events.size();
+  out.applied = runner.applied();
+  out.skipped = runner.skipped();
+  out.crashes = cluster.network().metrics().get("cluster.crashes");
+  out.recoveries = cluster.network().metrics().get("cluster.recoveries");
+  out.lease_expirations = cluster.metric_total("gc.lease_expirations");
+  out.total_objects = cluster.total_objects();
+  return out;
+}
+
+// The headline acceptance run (always on): 16 processes, ≥3 kills landing
+// mid-detection, a partition episode plus heal, restarts from snapshots —
+// then the cluster must quiesce with zero dead garbage, zero oracle
+// violations, zero auditor errors, and a clean offline consistency check.
+TEST(FaultChaos, AcceptanceSixteenProcessFaultMix) {
+  const auto out = run_fault_chaos(/*seed=*/2024, /*processes=*/16,
+                                   /*drop=*/0.0, /*dup=*/0.0,
+                                   /*max_delay=*/2, /*env_overrides=*/true);
+  EXPECT_GE(out.crashes, 3u) << "plan applied too few kills to count";
+  EXPECT_EQ(out.crashes, out.recoveries);  // everyone came back
+  EXPECT_EQ(out.violations, 0u) << out.detail;
+  EXPECT_EQ(out.garbage, 0u) << "floating garbage survived chaos";
+  EXPECT_EQ(out.audit_errors, 0u) << out.detail;
+  EXPECT_TRUE(out.checker_ok) << out.detail;
+}
+
+// Same seed, same plan, same outcome — the chaos schedule is reproducible,
+// so any failure above can be replayed exactly.
+TEST(FaultChaos, AcceptanceRunIsSeedReproducible) {
+  const auto a = run_fault_chaos(2024, 16, 0.0, 0.0, 2, /*env_overrides=*/false);
+  const auto b = run_fault_chaos(2024, 16, 0.0, 0.0, 2, /*env_overrides=*/false);
+  EXPECT_EQ(a, b);
+  const auto c = run_fault_chaos(2025, 16, 0.0, 0.0, 2, /*env_overrides=*/false);
+  EXPECT_TRUE(c.crashes != a.crashes || c.applied != a.applied ||
+              c.lease_expirations != a.lease_expirations ||
+              c.total_objects != a.total_objects)
+      << "different seeds produced byte-identical outcomes";
+}
+
+// Heavier gated legs: the fault layer combined with message loss,
+// duplication and jitter.  RGC_CHAOS_FAULTS=1 turns them on (CI runs them
+// under ASan and TSan via scripts/check.sh).
+class FaultChaosLegs : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(FaultChaosLegs, SafeAndCompleteUnderLossyChaos) {
+  if (!fault_legs_enabled()) {
+    GTEST_SKIP() << "set RGC_CHAOS_FAULTS=1 to run the heavy fault legs";
+  }
+  const ChaosCase param = GetParam();
+  const auto out =
+      run_fault_chaos(param.seed, param.processes, param.drop, param.dup,
+                      param.max_delay, /*env_overrides=*/true);
+  EXPECT_EQ(out.violations, 0u) << "seed " << param.seed << ": " << out.detail;
+  EXPECT_EQ(out.garbage, 0u) << "seed " << param.seed;
+  EXPECT_EQ(out.audit_errors, 0u) << "seed " << param.seed << "\n" << out.detail;
+  EXPECT_TRUE(out.checker_ok) << "seed " << param.seed << "\n" << out.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, FaultChaosLegs,
+    ::testing::Values(ChaosCase{201, 8, 0.2, 0.0, 3, CandidatePolicy::kExhaustive},
+                      ChaosCase{202, 10, 0.0, 0.2, 4, CandidatePolicy::kExhaustive},
+                      ChaosCase{203, 12, 0.25, 0.15, 5, CandidatePolicy::kExhaustive}),
     [](const ::testing::TestParamInfo<ChaosCase>& info) {
       return "seed" + std::to_string(info.param.seed);
     });
