@@ -19,6 +19,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <thread>
 
@@ -26,6 +27,8 @@
 #include "obs/dashboard.h"
 #include "obs/health.h"
 #include "obs/prom.h"
+#include "obs/recorder.h"
+#include "obs/replay.h"
 #include "util/trace.h"
 #include "workload/mesh.h"
 
@@ -51,6 +54,20 @@ struct Options {
   std::uint64_t watch_steps{256};    // steps to run in watch mode
   std::uint64_t watch_every{16};     // render a frame every N steps
   std::uint64_t watch_delay_ms{0};   // sleep between frames (demo pacing)
+  // Flight recorder / replay (docs/OBSERVABILITY.md "Flight recorder &
+  // replay").  --record runs the seeded fault-chaos workload and writes the
+  // .rgcrec recording; --replay re-runs a recording and diffs; --bisect
+  // narrows two recordings to their first divergent event.
+  std::string record_out;            // .rgcrec to write
+  std::string replay_in;             // .rgcrec to replay against
+  std::string bisect_files;          // "A.rgcrec,B.rgcrec"
+  double drop{0.0};                  // chaos drop probability
+  double dup{0.0};                   // chaos duplicate probability
+  std::uint32_t max_delay{2};        // chaos max delivery delay
+  std::uint32_t rounds{60};          // chaos workload rounds
+  std::uint32_t record_capacity{4096};  // recorder ring capacity
+  std::size_t threads{1};            // worker-pool width for replay
+  std::uint64_t perturb_step{0};     // inject divergence at this step
 };
 
 void usage(const char* argv0) {
@@ -63,7 +80,11 @@ void usage(const char* argv0) {
       "[--report-json=FILE]\n"
       "          [--prom-out=FILE] [--audit-interval N]\n"
       "          [--watch] [--watch-steps N] [--watch-every N] "
-      "[--watch-delay-ms M]\n",
+      "[--watch-delay-ms M]\n"
+      "          [--record=FILE.rgcrec] [--replay=FILE.rgcrec] "
+      "[--bisect=A.rgcrec,B.rgcrec]\n"
+      "          [--drop P] [--dup P] [--max-delay N] [--rounds N]\n"
+      "          [--record-capacity N] [--threads N] [--perturb-step S]\n",
       argv0);
 }
 
@@ -141,6 +162,47 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.watch_delay_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--record") {
+      const char* v = value();
+      if (!v) return false;
+      opt.record_out = v;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (!v) return false;
+      opt.replay_in = v;
+    } else if (arg == "--bisect") {
+      const char* v = value();
+      if (!v) return false;
+      opt.bisect_files = v;
+    } else if (arg == "--drop") {
+      const char* v = value();
+      if (!v) return false;
+      opt.drop = std::strtod(v, nullptr);
+    } else if (arg == "--dup") {
+      const char* v = value();
+      if (!v) return false;
+      opt.dup = std::strtod(v, nullptr);
+    } else if (arg == "--max-delay") {
+      const char* v = value();
+      if (!v) return false;
+      opt.max_delay = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--rounds") {
+      const char* v = value();
+      if (!v) return false;
+      opt.rounds = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--record-capacity") {
+      const char* v = value();
+      if (!v) return false;
+      opt.record_capacity =
+          static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return false;
+      opt.threads = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--perturb-step") {
+      const char* v = value();
+      if (!v) return false;
+      opt.perturb_step = std::strtoull(v, nullptr, 10);
     } else if (arg == "--watch") {
       opt.watch = true;
     } else if (arg == "--report") {
@@ -168,6 +230,94 @@ bool write_file(const std::string& path,
   body(os);
   std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
   return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out.assign(std::istreambuf_iterator<char>(is),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+obs::ChaosRunSpec chaos_spec(const Options& opt) {
+  obs::ChaosRunSpec spec;
+  spec.seed = opt.seed;
+  spec.processes = static_cast<std::uint32_t>(opt.processes);
+  spec.drop = opt.drop;
+  spec.dup = opt.dup;
+  spec.max_delay = opt.max_delay;
+  spec.rounds = opt.rounds;
+  spec.ring_capacity = opt.record_capacity;
+  spec.threads = opt.threads;
+  spec.perturb_step = opt.perturb_step;
+  return spec;
+}
+
+/// --record: run the seeded fault-chaos workload with the flight recorder
+/// on and write the .rgcrec.  The run also dumps to the same path early on
+/// an audit ERROR or SIGABRT, so a crashed session still leaves evidence.
+int run_record(const Options& opt) {
+  obs::ChaosRunSpec spec = chaos_spec(opt);
+  spec.dump_path = opt.record_out;
+  const std::string bytes = obs::record_chaos_run(spec);
+  std::ofstream os(opt.record_out, std::ios::binary);
+  if (!os || !os.write(bytes.data(),
+                       static_cast<std::streamsize>(bytes.size()))) {
+    std::fprintf(stderr, "cannot write %s\n", opt.record_out.c_str());
+    return 1;
+  }
+  const auto run = obs::FlightRecorder::decode(bytes);
+  std::printf("recorded %zu bytes to %s (seed=%llu processes=%zu "
+              "events=%llu retained=%zu)\n",
+              bytes.size(), opt.record_out.c_str(),
+              static_cast<unsigned long long>(spec.seed), opt.processes,
+              static_cast<unsigned long long>(run ? run->appended : 0),
+              run ? run->events.size() : 0);
+  return 0;
+}
+
+/// --replay: re-run the workload stamped into the recording and diff the
+/// live event stream against it.  Exit 0 on byte-identical, 4 on
+/// divergence, 1 on a corrupt recording.
+int run_replay(const Options& opt) {
+  std::string bytes;
+  if (!read_file(opt.replay_in, bytes)) return 1;
+  const obs::ReplayOutcome outcome =
+      obs::replay_recording(bytes, opt.threads, opt.perturb_step);
+  std::fputs(outcome.report.c_str(), stdout);
+  if (!outcome.loaded) return 1;
+  return outcome.divergence.found || !outcome.byte_identical ? 4 : 0;
+}
+
+/// --bisect A,B: narrow two recordings of the same run to their first
+/// divergent event.  Exit 0 when identical, 4 when divergent.
+int run_bisect(const Options& opt) {
+  const auto comma = opt.bisect_files.find(',');
+  if (comma == std::string::npos) {
+    std::fprintf(stderr, "--bisect wants two files: A.rgcrec,B.rgcrec\n");
+    return 2;
+  }
+  std::string bytes_a;
+  std::string bytes_b;
+  if (!read_file(opt.bisect_files.substr(0, comma), bytes_a) ||
+      !read_file(opt.bisect_files.substr(comma + 1), bytes_b)) {
+    return 1;
+  }
+  const auto a = obs::FlightRecorder::decode(bytes_a);
+  const auto b = obs::FlightRecorder::decode(bytes_b);
+  if (!a || !b) {
+    std::fprintf(stderr, "corrupt recording: %s\n",
+                 !a ? opt.bisect_files.substr(0, comma).c_str()
+                    : opt.bisect_files.substr(comma + 1).c_str());
+    return 1;
+  }
+  const obs::BisectOutcome outcome = obs::bisect_divergence(*a, *b);
+  std::printf("%s\n", outcome.report.c_str());
+  return outcome.identical ? 0 : 4;
 }
 
 int run_one(const Options& opt, core::DetectorMode mode, const char* name,
@@ -321,6 +471,9 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if (!opt.record_out.empty()) return run_record(opt);
+  if (!opt.replay_in.empty()) return run_replay(opt);
+  if (!opt.bisect_files.empty()) return run_bisect(opt);
   if (opt.watch) return run_watch(opt);
   util::Timeline timeline;
   const bool tracing = !opt.trace_out.empty() || !opt.trace_jsonl.empty();

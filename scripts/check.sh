@@ -33,8 +33,22 @@ if [[ "${1:-}" != "--fast" ]]; then
   # behind Cluster::collect_round/snapshot_all, which this suite covers).
   echo "== thread sanitizer build + determinism tests =="
   cmake -B build-tsan -S . -DRGC_SANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target determinism_test chaos_test
+  cmake --build build-tsan -j "$JOBS" --target determinism_test chaos_test recorder_test
   ./build-tsan/tests/determinism_test
+
+  # Flight-recorder legs (docs/OBSERVABILITY.md "Flight recorder &
+  # replay"): the obs-labelled recorder suite under both sanitizers —
+  # byte-identical recordings across thread counts is exactly the property
+  # TSan-visible races would break — then a record-then-replay pass with
+  # the CLI, which exits non-zero unless the replay is byte-identical.
+  echo "== recorder suite under ASan/UBSan + TSan =="
+  ./build-asan/tests/recorder_test
+  ./build-tsan/tests/recorder_test
+  echo "== record-then-replay divergence check =="
+  REC_TMP=$(mktemp -t rgc_check_XXXX.rgcrec)
+  trap 'rm -f "$REC_TMP"' EXIT
+  ./build-asan/examples/example_sim_cli --record "$REC_TMP" --processes 16 --seed 2024
+  ./build-asan/examples/example_sim_cli --replay "$REC_TMP" --threads 4
 
   # Audit-enabled chaos: the online health auditor runs every step
   # (RGC_CHAOS_AUDIT=1) with the worker pool at 4 threads, under both

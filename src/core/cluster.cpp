@@ -1,6 +1,7 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 #include <stdexcept>
 
@@ -17,8 +18,27 @@ Cluster::Cluster(ClusterConfig config)
       *this, obs::AuditConfig{config_.audit_interval, config_.audit_deep_every,
                               config_.audit_oracle_assist});
   net_.set_observer(auditor_.get());
+  if (config_.record_capacity > 0) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(
+        obs::RecorderConfig{config_.record_capacity});
+    recorder_->bind(&net_);
+    net_.add_observer(recorder_.get());
+  }
   // Leases imply the fault model: invokes may legally race a crash window.
   faults_engaged_ = config_.lease_timeout > 0;
+}
+
+obs::RecStamp Cluster::recorder_stamp() const {
+  obs::RecStamp stamp;
+  stamp.seed = config_.net.seed;
+  stamp.processes = static_cast<std::uint32_t>(nodes_.size());
+  stamp.drop_bits = std::bit_cast<std::uint64_t>(config_.net.drop_probability);
+  stamp.dup_bits =
+      std::bit_cast<std::uint64_t>(config_.net.duplicate_probability);
+  stamp.max_delay = config_.net.max_delay;
+  stamp.lease_timeout = config_.lease_timeout;
+  stamp.capacity = static_cast<std::uint32_t>(config_.record_capacity);
+  return stamp;
 }
 
 Cluster::~Cluster() = default;
@@ -48,6 +68,7 @@ void Cluster::build_node(ProcessId pid, Node& node) {
     handle_cycle_found(pid, cdm);
   };
   node.detector->set_profile(&profile_.histogram("cycle.detect_us"));
+  node.process->set_recorder(recorder_.get());
   node.summary_cache_valid = false;
   node.last_summary_fresh = true;
   node.alive = true;
@@ -165,6 +186,19 @@ void Cluster::step() {
   }
   if (config_.audit_interval != 0 && now() % config_.audit_interval == 0) {
     auditor_->run_scheduled();
+    if (recorder_) {
+      const std::uint64_t errors = auditor_->report().errors();
+      if (errors > recorded_audit_errors_) {
+        recorder_->audit_error(errors);
+        recorded_audit_errors_ = errors;
+        if (!config_.record_dump_path.empty() && !audit_error_dumped_) {
+          // First ERROR: freeze the evidence while it is still fresh.
+          audit_error_dumped_ = true;
+          obs::dump_recording(*recorder_, recorder_stamp(),
+                              config_.record_dump_path);
+        }
+      }
+    }
   }
 }
 
@@ -192,6 +226,10 @@ QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
   // they never hold up quiescence — callers see them in `dead` instead.
   std::size_t dead = 0;
   for (const auto& [pid, node] : nodes_) dead += node.alive ? 0 : 1;
+  // Why a run stalled, as registered gauges: crashed members vs a genuine
+  // truncation (gave up with traffic still in flight).
+  net_.metrics().gauge("cluster.quiescence_dead_pids").set(dead);
+  net_.metrics().gauge("cluster.quiescence_truncated").set(net_.idle() ? 0 : 1);
   return QuiescenceStatus{steps, net_.idle(), net_.in_flight(), dead};
 }
 
@@ -293,6 +331,7 @@ std::uint64_t Cluster::collect_round() {
     nodes[i]->suspicion->after_collection(proc, results[i]);
     gc::Adgc::after_collection(proc, results[i], &announcements);
   }
+  if (recorder_) recorder_->phase(obs::kPhaseCollectRound, reclaimed, n);
   return reclaimed;
 }
 
@@ -382,6 +421,7 @@ void Cluster::snapshot_all() {
       nodes[i]->baseline->install_snapshot(std::move(summaries[i]));
     }
   }
+  if (recorder_) recorder_->phase(obs::kPhaseSnapshotAll, n);
 }
 
 std::optional<std::uint64_t> Cluster::detect(ProcessId at, ObjectId candidate) {
@@ -526,6 +566,12 @@ void Cluster::dispatch(ProcessId pid, const net::Envelope& env) {
     // (Cluster::restart sends Recover first), so the reset cannot race it.
     RGC_DEBUG("cluster: ", to_string(pid), " sees ", to_string(env.src),
               " recovering (incarnation ", p->incarnation, ")");
+    auto& trace = util::Trace::instance();
+    if (trace.enabled()) {
+      trace.instant("rm.recover", pid, 0, false,
+                    {util::TraceArg::num("from", raw(env.src)),
+                     util::TraceArg::num("incarnation", p->incarnation)});
+    }
     node.process->newsetstubs_epochs()[env.src] = 0;
     node.process->metrics().add("rm.recover_received");
     send_reconciliation(*node.process, env.src);
@@ -577,6 +623,7 @@ void Cluster::kill(ProcessId pid) {
   Node& node = it->second;
   if (!node.alive) throw std::logic_error("process already down");
   engage_fault_tolerance();
+  if (recorder_) recorder_->fault(obs::RecKind::kKill, pid, node.incarnations);
   // The auditor banks the dying process's conservation contributions (CDMs
   // sent/received, pending cut whitelists) before the state vanishes.
   auditor_->note_crash(pid, node.process->metrics());
@@ -602,6 +649,9 @@ void Cluster::persist(ProcessId pid) {
   // snapshot cadence).
   node.image = gc::encode_image(node.process->capture_image(now()));
   node.image_epoch = node.process->mutation_epoch();
+  if (recorder_) {
+    recorder_->fault(obs::RecKind::kPersist, pid, node.image.size());
+  }
 }
 
 void Cluster::persist_all() {
@@ -661,6 +711,10 @@ bool Cluster::restart(ProcessId pid) {
     if (q == pid || !qn.alive || !net_.reachable(pid, q)) continue;
     send_reconciliation(*node.process, q);
   }
+  if (recorder_) {
+    recorder_->fault(obs::RecKind::kRestart, pid, node.incarnations,
+                     rehydrated ? 1 : 0);
+  }
   RGC_INFO("cluster: restarted ", to_string(pid),
            rehydrated ? " from persisted image" : " empty");
   return rehydrated;
@@ -695,12 +749,16 @@ void Cluster::set_image(ProcessId pid, std::string bytes) {
 
 void Cluster::partition(const std::vector<std::vector<ProcessId>>& groups) {
   engage_fault_tolerance();
+  if (recorder_) {
+    recorder_->fault(obs::RecKind::kPartition, kNoProcess, groups.size());
+  }
   net_.set_partition(groups);
   net_.metrics().add("cluster.partitions");
 }
 
 void Cluster::heal() {
   if (!net_.partitioned()) return;
+  if (recorder_) recorder_->fault(obs::RecKind::kHeal, kNoProcess);
   const std::map<ProcessId, std::uint32_t> groups = net_.partition_groups();
   net_.clear_partition();
   net_.metrics().add("cluster.heals");

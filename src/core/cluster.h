@@ -35,6 +35,7 @@
 #include "net/network.h"
 #include "obs/audit.h"
 #include "obs/health.h"
+#include "obs/recorder.h"
 #include "rm/process.h"
 #include "util/ids.h"
 #include "util/metrics.h"
@@ -100,6 +101,16 @@ struct ClusterConfig {
   /// live processes (renewals also piggyback on every delivered message).
   /// 0 derives max(1, lease_timeout / 4).  Ignored while leases are off.
   std::uint64_t heartbeat_interval{0};
+  /// Flight-recorder ring capacity per process (obs/recorder.h): every
+  /// transport event, GC phase, sweep, reclaim decision, lease expiry and
+  /// fault is retained in a fixed ring for post-mortem replay.  Always on
+  /// by default, like the auditor — appends are O(1), allocation-free in
+  /// steady state, and touch no deterministic metric.  0 disables.
+  std::size_t record_capacity{4096};
+  /// When set, the first audit ERROR dumps the recording here as a
+  /// versioned `.rgcrec` file (sim_cli --record wires this up; SIGABRT
+  /// dumps are armed separately via obs::arm_abort_dump).
+  std::string record_dump_path{};
 };
 
 /// Outcome of run_until_quiescent: how many steps ran and whether the
@@ -232,6 +243,16 @@ class Cluster {
   /// cycle.detect_us, ...).  Nondeterministic by nature — deliberately kept
   /// out of make_report()'s deterministic output.
   [[nodiscard]] const util::Metrics& profile() const noexcept { return profile_; }
+  /// The always-on flight recorder (null when record_capacity is 0).
+  [[nodiscard]] obs::FlightRecorder* recorder() noexcept {
+    return recorder_.get();
+  }
+  [[nodiscard]] const obs::FlightRecorder* recorder() const noexcept {
+    return recorder_.get();
+  }
+  /// Run identity for dumping this cluster's recording (rounds = 0: the
+  /// cluster doesn't know the driving workload's round count).
+  [[nodiscard]] obs::RecStamp recorder_stamp() const;
 
   // ---- Garbage collection -------------------------------------------------
   /// One local collection + acyclic-protocol round on one process.
@@ -367,6 +388,12 @@ class Cluster {
   util::Metrics profile_;
   /// Declared after net_ so it is destroyed first (it is net_'s observer).
   std::unique_ptr<obs::HealthAuditor> auditor_;
+  /// Also a net_ observer (add_observer) — same ordering rule.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  /// Audit errors already recorded/dumped (the recorder notes each new
+  /// ERROR once; the first one triggers the record_dump_path dump).
+  std::uint64_t recorded_audit_errors_{0};
+  bool audit_error_dumped_{false};
 };
 
 }  // namespace rgc::core

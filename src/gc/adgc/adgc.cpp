@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/recorder.h"
 #include "util/log.h"
 #include "util/trace.h"
 
@@ -232,6 +233,9 @@ void Adgc::on_reclaim(rm::Process& process, const net::Envelope& env,
              outs.end());
   if (outs.size() != outs_before) process.note_mutation();
   process.metrics().add("adgc.reclaim_received");
+  if (obs::FlightRecorder* rec = process.recorder()) {
+    rec->reclaim_decision(process.id(), env.src, obj);
+  }
   RGC_DEBUG("adgc: ", to_string(process.id()), " unlinked replica ",
             to_string(obj), " after Reclaim from ", to_string(env.src));
 }
@@ -309,6 +313,11 @@ std::uint64_t Adgc::expire_leases(rm::Process& process, std::uint64_t now,
     if (changed) {
       process.metrics().add("gc.lease_peers_expired");
       process.note_mutation();
+    }
+  }
+  if (expired_scions != 0) {
+    if (obs::FlightRecorder* rec = process.recorder()) {
+      rec->lease_expiry(process.id(), expired_scions);
     }
   }
   return expired_scions;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
 #include "util/log.h"
 #include "util/trace.h"
 
@@ -194,6 +195,11 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
   span.arg("reclaimed", result.reclaimed.size());
   span.arg("traced", result.traced);
   span.arg("live_stubs", result.live_stubs.size());
+  // Sweeps run in the serial phase, so the recorder's global event order
+  // (and hence the .rgcrec bytes) is thread-count independent.
+  if (obs::FlightRecorder* rec = process.recorder()) {
+    rec->sweep(process.id(), result.reclaimed.size(), result.traced);
+  }
   RGC_DEBUG("lgc: ", to_string(process.id()), " reclaimed ",
             result.reclaimed.size(), " objects, ", result.live_stubs.size(),
             " live stubs");

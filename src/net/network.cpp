@@ -40,6 +40,40 @@ void Network::detach(ProcessId process) {
   }
 }
 
+void Network::add_observer(Observer* observer) {
+  if (observer == nullptr) return;
+  if (std::find(extra_observers_.begin(), extra_observers_.end(), observer) ==
+      extra_observers_.end()) {
+    extra_observers_.push_back(observer);
+  }
+}
+
+void Network::remove_observer(Observer* observer) {
+  extra_observers_.erase(std::remove(extra_observers_.begin(),
+                                     extra_observers_.end(), observer),
+                         extra_observers_.end());
+}
+
+void Network::emit_send(const Envelope& env) {
+  if (observer_ != nullptr) observer_->on_send(env);
+  for (Observer* o : extra_observers_) o->on_send(env);
+}
+
+void Network::emit_deliver(const Envelope& env) {
+  if (observer_ != nullptr) observer_->on_deliver(env);
+  for (Observer* o : extra_observers_) o->on_deliver(env);
+}
+
+void Network::emit_drop(const Envelope& env) {
+  if (observer_ != nullptr) observer_->on_drop(env);
+  for (Observer* o : extra_observers_) o->on_drop(env);
+}
+
+void Network::emit_duplicate(const Envelope& env) {
+  if (observer_ != nullptr) observer_->on_duplicate(env);
+  for (Observer* o : extra_observers_) o->on_duplicate(env);
+}
+
 std::uint32_t Network::group_of(ProcessId p) const {
   const auto it = partition_group_.find(p);
   return it == partition_group_.end() ? 0 : it->second;
@@ -84,10 +118,7 @@ std::size_t Network::purge_in_flight(
       --in_flight_count_;
       ++purged;
       trace.instant("net.purge", it->src, 0, false);
-      if (observer_ != nullptr) {
-        observer_->on_drop(
-            Envelope{it->src, it->dst, it->seq, it->sent_at, it->msg.get()});
-      }
+      emit_drop(Envelope{it->src, it->dst, it->seq, it->sent_at, it->msg.get()});
       it = queue.erase(it);
     }
     bucket = queue.empty() ? in_flight_.erase(bucket) : std::next(bucket);
@@ -130,9 +161,7 @@ std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
                    util::TraceArg::num("seq", seq),
                    util::TraceArg::num("weight", msg->weight())});
   }
-  if (observer_ != nullptr) {
-    observer_->on_send(Envelope{src, dst, seq, now_, msg.get()});
-  }
+  emit_send(Envelope{src, dst, seq, now_, msg.get()});
   // Fault model: a dead destination or a partition cut loses the message at
   // the source, reliable or not — "reliable" means the transport never loses
   // it, not that it outlives the endpoints or a severed link.
@@ -141,18 +170,14 @@ std::uint64_t Network::send(ProcessId src, ProcessId dst, MessagePtr msg) {
     dropped_.inc();
     counters.dropped.inc();
     trace.instant("net.drop", src, 0, false);
-    if (observer_ != nullptr) {
-      observer_->on_drop(Envelope{src, dst, seq, now_, msg.get()});
-    }
+    emit_drop(Envelope{src, dst, seq, now_, msg.get()});
     return seq;
   }
   if (!msg->reliable() && rng_.chance(config_.drop_probability)) {
     dropped_.inc();
     counters.dropped.inc();
     trace.instant("net.drop", src, 0, false);
-    if (observer_ != nullptr) {
-      observer_->on_drop(Envelope{src, dst, seq, now_, msg.get()});
-    }
+    emit_drop(Envelope{src, dst, seq, now_, msg.get()});
     return seq;
   }
   enqueue(src, dst, std::move(msg), seq, now_, counters);
@@ -176,9 +201,7 @@ void Network::enqueue(ProcessId src, ProcessId dst, MessagePtr msg,
   } else if (rng_.chance(config_.duplicate_probability)) {
     duplicated_.inc();
     counters.duplicated.inc();
-    if (observer_ != nullptr) {
-      observer_->on_duplicate(Envelope{src, dst, seq, sent_at, msg.get()});
-    }
+    emit_duplicate(Envelope{src, dst, seq, sent_at, msg.get()});
     // The clone lands one step after the original, so (src, dst, seq) stays
     // unique within every due bucket.
     in_flight_[now_ + delay + 1].push_back(
@@ -228,7 +251,7 @@ bool Network::step() {
       RGC_TRACE("net: deliver ", m.msg->kind(), " ", to_string(m.src), "->",
                 to_string(m.dst));
       const Envelope env{m.src, m.dst, m.seq, m.sent_at, m.msg.get()};
-      if (observer_ != nullptr) observer_->on_deliver(env);
+      emit_deliver(env);
       if (tap_) tap_(env);
       it->second(env);
     }

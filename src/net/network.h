@@ -119,10 +119,16 @@ class Network {
   /// a wire tap for tests and protocol tracing.  Not part of any protocol.
   void set_tap(Handler tap) { tap_ = std::move(tap); }
 
-  /// Installs (or clears, with nullptr) the transport-event observer.  The
-  /// observer is borrowed, not owned; it must outlive the network or be
-  /// detached first.
+  /// Installs (or clears, with nullptr) the primary transport-event
+  /// observer.  The observer is borrowed, not owned; it must outlive the
+  /// network or be detached first.
   void set_observer(Observer* observer) { observer_ = observer; }
+
+  /// Registers an additional observer; all observers see every event, the
+  /// primary first and then the extras in registration order (a fixed,
+  /// deterministic sequence).  Same borrowing rules as set_observer.
+  void add_observer(Observer* observer);
+  void remove_observer(Observer* observer);
 
   /// Queues a message; it is deliverable no earlier than the next step.
   /// Returns the per-(src,dst)-link sequence number assigned to it (the
@@ -201,6 +207,12 @@ class Network {
   /// Returns the number purged.
   std::size_t purge_in_flight(const std::function<bool(const InFlight&)>& pred);
 
+  /// Fan an event out to the primary observer, then the extras.
+  void emit_send(const Envelope& env);
+  void emit_deliver(const Envelope& env);
+  void emit_drop(const Envelope& env);
+  void emit_duplicate(const Envelope& env);
+
   NetworkConfig config_;
   util::Rng rng_;
   util::Metrics metrics_;
@@ -219,6 +231,8 @@ class Network {
   std::map<ProcessId, std::uint32_t> partition_group_;
   Handler tap_;
   Observer* observer_{nullptr};
+  /// Secondary observers (add_observer), notified after observer_.
+  std::vector<Observer*> extra_observers_;
   std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> link_seq_;
   /// Latest due-step handed to a reliable message per link; later reliable
   /// sends are clamped to at least this value to guarantee per-link FIFO.

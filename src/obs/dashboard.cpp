@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "obs/audit.h"
 #include "obs/health.h"
+#include "obs/recorder.h"
 #include "rm/process.h"
 #include "util/metrics.h"
 
@@ -59,6 +60,17 @@ std::string render_dashboard(const core::Cluster& cluster,
   if (health.findings.size() > kMaxFindings) {
     appendf(out, "  ... and %zu more findings\n",
             health.findings.size() - kMaxFindings);
+  }
+
+  // ---- Flight recorder -------------------------------------------------
+  if (const FlightRecorder* rec = cluster.recorder()) {
+    appendf(out,
+            "recorder: depth %llu/%zu per ring | %llu appended, %llu "
+            "overwritten%s\n",
+            static_cast<unsigned long long>(rec->depth()), rec->capacity(),
+            static_cast<unsigned long long>(rec->appended()),
+            static_cast<unsigned long long>(rec->dropped()),
+            rec->divergence().found ? " | REPLAY DIVERGED" : "");
   }
 
   // ---- Per-process table ----------------------------------------------

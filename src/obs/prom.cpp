@@ -100,6 +100,9 @@ void write_prometheus(const core::Cluster& cluster, std::ostream& os) {
   collect(cluster.network().metrics(), {});
   collect(cluster.auditor().metrics(), {});
   collect(cluster.profile(), {});
+  if (cluster.recorder() != nullptr) {
+    collect(cluster.recorder()->metrics(), {});
+  }
 
   // A histogram family claims its name plus the _bucket/_sum/_count
   // suffixes; a scalar family with the same base name would produce a

@@ -27,6 +27,10 @@
 #include "util/ids.h"
 #include "util/metrics.h"
 
+namespace rgc::obs {
+class FlightRecorder;
+}  // namespace rgc::obs
+
 namespace rgc::rm {
 
 /// Pre-registered hot-path counter handles (see util/metrics.h): resolved
@@ -359,6 +363,16 @@ class Process {
   /// Hot-path counter handles (same storage as metrics()).
   [[nodiscard]] ProcessCounters& counters() noexcept { return counters_; }
 
+  /// Flight-recorder sink for this process's GC events (obs/recorder.h) —
+  /// borrowed from the owning Cluster, null in standalone use.  The LGC
+  /// sweep and ADGC reclaim/lease paths record through it.
+  void set_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* recorder() const noexcept {
+    return recorder_;
+  }
+
   // ---- LGC marking support --------------------------------------------
 
   /// Starts a fresh mark epoch: bumps the epoch (invalidating every
@@ -443,6 +457,7 @@ class Process {
   /// Lease table: last step each peer was known alive (see note_heard).
   std::map<ProcessId, std::uint64_t> last_heard_;
   bool fault_tolerant_{false};
+  obs::FlightRecorder* recorder_{nullptr};
   util::Metrics metrics_;
   ProcessCounters counters_{metrics_};
 };
