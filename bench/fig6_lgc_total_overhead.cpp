@@ -69,7 +69,9 @@ void run_series(benchmark::State& state, gc::FinalizeStrategy strategy) {
       // next cycle.  Fresh reconstruction re-arms implicitly (it built a
       // new object); the in-place variant needs the finalization bit back.
       if (strategy == gc::FinalizeStrategy::kReconstructionInPlace) {
-        for (auto& [id, obj] : proc.heap().objects()) obj.finalizable = true;
+        proc.heap().for_each([](ObjectId, std::uint32_t, rm::Object& obj) {
+          obj.finalizable = true;
+        });
       }
       // The previous cycle's proxies are local garbage by now.
       finalizer.release_arena();

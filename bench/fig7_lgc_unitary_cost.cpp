@@ -52,7 +52,9 @@ double unitary_cost_us(gc::FinalizeStrategy strategy, std::int64_t n,
   for (int run = 0; run < kRuns; ++run) {
     gc::Lgc::collect(proc, cfg);
     if (strategy == gc::FinalizeStrategy::kReconstructionInPlace) {
-      for (auto& [id, obj] : proc.heap().objects()) obj.finalizable = true;
+      proc.heap().for_each([](ObjectId, std::uint32_t, rm::Object& obj) {
+        obj.finalizable = true;
+      });
     }
     finalizer.release_arena();
   }

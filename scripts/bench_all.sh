@@ -21,6 +21,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 BENCHES=(
   lgc_hotpath
+  cluster_scale
   fig6_lgc_total_overhead
   fig7_lgc_unitary_cost
   fig8_cdm_per_step

@@ -63,6 +63,12 @@ if [[ "${1:-}" != "--fast" ]]; then
   RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 RGC_CHAOS_FAULTS=1 ./build-tsan/tests/chaos_test
   echo "== recovery suite under ASan/UBSan =="
   ./build-asan/tests/recovery_test
+
+  # ~100k-object scale smoke under ASan (`ctest -L scale`): arena slot
+  # reuse, image/summary codecs and the discrete-event scheduler at
+  # populations where off-by-one slot bookkeeping actually bites.
+  echo "== scale smoke under ASan/UBSan =="
+  ctest --test-dir build-asan -L scale --output-on-failure -j "$JOBS"
 fi
 
 echo "OK"

@@ -159,7 +159,20 @@ void Cluster::invoke(ProcessId caller, ObjectId target,
   process(caller).invoke(target, root_steps);
 }
 
-void Cluster::step() {
+void Cluster::step() { advance_clock(1); }
+
+void Cluster::advance_clock(std::uint64_t delta) {
+  if (delta > 1) {
+    // Silent stretch prefix: the caller clamped `delta` at the next event
+    // horizon, so steps (now, now + delta - 1] deliver nothing, cross no
+    // audit/heartbeat boundary, and expire no lease or transient root.
+    // Their only per-step effect in step-by-step mode is transient-TTL
+    // aging — apply it in bulk and jump the network clock.
+    for (auto& [pid, node] : nodes_) {
+      if (node.alive) node.process->tick(delta - 1);
+    }
+    net_.skip_to(net_.now() + delta - 1);
+  }
   net_.step();
   for (auto& [pid, node] : nodes_) {
     if (node.alive) node.process->tick();
@@ -185,6 +198,10 @@ void Cluster::step() {
     }
   }
   if (config_.audit_interval != 0 && now() % config_.audit_interval == 0) {
+    // Host-OS measurement: nondeterministic, so it lives in profile() (the
+    // wall-clock registry excluded from deterministic reports), sampled at
+    // audit cadence rather than per step.
+    profile_.gauge("cluster.peak_rss_bytes").set(util::peak_rss_bytes());
     auditor_->run_scheduled();
     if (recorder_) {
       const std::uint64_t errors = auditor_->report().errors();
@@ -208,12 +225,51 @@ std::uint64_t Cluster::heartbeat_interval() const noexcept {
   return derived == 0 ? 1 : derived;
 }
 
-QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
-  std::uint64_t steps = 0;
-  while (!net_.idle() && steps < max_steps) {
-    step();
-    ++steps;
+std::uint64_t Cluster::next_event_delta() const {
+  const std::uint64_t at = now();
+  std::uint64_t delta = ~std::uint64_t{0};
+  const auto clamp_at = [&](std::uint64_t event_step) {
+    delta = std::min(delta, event_step > at ? event_step - at : 1);
+  };
+  if (net_.next_due() != ~std::uint64_t{0}) clamp_at(net_.next_due());
+  // Scheduled-audit and keepalive boundaries: step() acts on every multiple
+  // of the interval, so the next multiple strictly after `at` must execute.
+  if (config_.audit_interval != 0) {
+    delta = std::min(delta,
+                     config_.audit_interval - at % config_.audit_interval);
   }
+  if (config_.lease_timeout > 0) {
+    const std::uint64_t h = heartbeat_interval();
+    delta = std::min(delta, h - at % h);
+    for (const auto& [pid, node] : nodes_) {
+      if (!node.alive) continue;
+      const std::uint64_t e =
+          node.process->next_lease_expiry(config_.lease_timeout);
+      if (e != ~std::uint64_t{0}) clamp_at(e);
+    }
+  }
+  for (const auto& [pid, node] : nodes_) {
+    if (!node.alive) continue;
+    const std::uint32_t ttl = node.process->next_transient_expiry();
+    if (ttl != 0) delta = std::min<std::uint64_t>(delta, ttl);
+  }
+  return delta == 0 ? 1 : delta;
+}
+
+void Cluster::advance(std::uint64_t steps) {
+  const std::uint64_t end = now() + steps;
+  while (now() < end) {
+    advance_clock(std::min(next_event_delta(), end - now()));
+  }
+}
+
+QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
+  const std::uint64_t start = now();
+  while (!net_.idle() && now() - start < max_steps) {
+    const std::uint64_t budget = max_steps - (now() - start);
+    advance_clock(std::min(next_event_delta(), budget));
+  }
+  const std::uint64_t steps = now() - start;
   if (!net_.idle()) {
     // Giving up with traffic still queued means protocol rounds (ADGC
     // hand-shakes, CDM tracks) were cut short — callers used to get no

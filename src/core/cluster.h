@@ -221,8 +221,17 @@ class Cluster {
   /// One simulation step: deliver due messages, expire transient roots,
   /// and run the scheduled health audit when the cadence hits.
   void step();
-  /// Steps until no messages are in flight; returns how many steps ran and
-  /// whether the network drained (converts to the step count).
+  /// Advances virtual time by `steps` steps with discrete-event scheduling:
+  /// quiescent stretches are jumped in one hop instead of executed step by
+  /// step, clamped so every delivery, audit/heartbeat boundary, lease
+  /// expiry and transient-root expiry still happens at exactly the virtual
+  /// step it would under step()-stepping — the two schedules are
+  /// observably identical (same events, same order, same virtual times).
+  void advance(std::uint64_t steps);
+  /// Drains the network with the same event-skipping scheduler; returns how
+  /// many virtual steps elapsed and whether the network drained (converts
+  /// to the step count).  O(events), not O(virtual time), on idle-heavy
+  /// workloads.
   QuiescenceStatus run_until_quiescent(std::uint64_t max_steps = 100000);
   [[nodiscard]] std::uint64_t now() const noexcept { return net_.now(); }
 
@@ -372,6 +381,20 @@ class Cluster {
 
   /// Effective keepalive cadence (config.heartbeat_interval or derived).
   [[nodiscard]] std::uint64_t heartbeat_interval() const noexcept;
+
+  /// One scheduler quantum: behaves exactly like `delta` consecutive
+  /// step() calls under the precondition that steps (now, now + delta - 1]
+  /// are silent — nothing due, no audit/heartbeat boundary, no lease or
+  /// transient-root expiry strictly inside.  next_event_delta() computes
+  /// the largest such delta.  step() is advance_clock(1).
+  void advance_clock(std::uint64_t delta);
+
+  /// Steps until the next scheduled event: the network's next due
+  /// delivery, the next audit/heartbeat boundary, the earliest lease
+  /// expiry, or the earliest transient-root expiry — whichever comes
+  /// first.  Always >= 1; UINT64_MAX-ish when nothing is scheduled (the
+  /// caller clamps to its own budget).
+  [[nodiscard]] std::uint64_t next_event_delta() const;
 
   ClusterConfig config_;
   net::NetworkConfig net_config_;

@@ -23,11 +23,12 @@ OracleReport Oracle::analyze(const Cluster& cluster) {
 
   for (ProcessId pid : cluster.process_ids()) {
     const rm::Process& proc = cluster.process(pid);
-    for (const auto& [id, obj] : proc.heap().objects()) {
+    proc.heap().for_each([&](ObjectId id, std::uint32_t,
+                             const rm::Object& obj) {
       report.existing_objects.insert(id);
       report.replicas.insert(Replica{id, pid});
       for (const rm::Ref& r : obj.refs) edges[id].insert(r.target);
-    }
+    });
     for (ObjectId root : proc.heap().roots()) rooted.insert(root);
     for (const auto& [obj, ttl] : proc.transient_roots()) rooted.insert(obj);
   }

@@ -47,10 +47,12 @@ struct ForwardReach {
 /// Snapshots the objects/stubs touched by the current mark epoch out of the
 /// process's scratch (each object is enqueued exactly once per epoch when a
 /// single trace family runs, so the queue *is* the visited set).
-util::FlatSet<ObjectId> touched_objects(const rm::MarkScratch& scratch) {
+util::FlatSet<ObjectId> touched_objects(const rm::Process& process) {
+  const rm::MarkScratch& scratch = process.mark_scratch();
+  const rm::Heap& heap = process.heap();
   std::vector<ObjectId> ids;
   ids.reserve(scratch.queue.size());
-  for (const rm::Object* obj : scratch.queue) ids.push_back(obj->id);
+  for (std::uint32_t slot : scratch.queue) ids.push_back(heap.at_slot(slot).id);
   return util::FlatSet<ObjectId>{std::move(ids)};
 }
 
@@ -62,7 +64,7 @@ ForwardReach forward_reach(const rm::Process& process, ObjectId seed,
   Lgc::drain(process, 1);
 
   ForwardReach out;
-  out.objects = touched_objects(scratch);
+  out.objects = touched_objects(process);
   out.stubs = util::FlatSet<rm::StubKey>{scratch.stubs};
   for (ObjectId obj : out.objects) {
     if (exclude_self && obj == seed) continue;
@@ -101,7 +103,7 @@ ProcessSummary summarize_reference(const rm::Process& process) {
       Lgc::seed(process, obj, 1);
     }
     Lgc::drain(process, 1);
-    root_objects = touched_objects(scratch);
+    root_objects = touched_objects(process);
     root_stubs = util::FlatSet<rm::StubKey>{scratch.stubs};
   }
 
@@ -186,7 +188,7 @@ ProcessSummary summarize_reference(const rm::Process& process) {
 // ScionsTo/ReplicasTo question with a full trace per seed; this one answers
 // all of them with one structure pass:
 //   1. one root trace (Lgc::seed/drain over the shared MarkScratch) reads
-//      LocalReach straight off the intrusive mark bits,
+//      LocalReach straight off the heap's SoA mark state,
 //   2. an iterative Tarjan DFS started from each seed (scion anchors and
 //      replicated objects present in the heap) condenses the seed-reachable
 //      subgraph into SCCs, recording object->object and object->stub edges
@@ -201,24 +203,12 @@ ProcessSummary summarize_reference(const rm::Process& process) {
 
 namespace {
 
-constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+// Arena slots double as the dense node space: Heap::slot_of is the O(1)
+// id -> position map (kNoPos == Heap::kNoSlot), and Heap::slab_size bounds
+// the side arrays.  No index build per snapshot.
+constexpr std::uint32_t kNoPos = rm::Heap::kNoSlot;
 constexpr std::uint8_t kSeedAnchor = 1;   // scion anchor with a local replica
 constexpr std::uint8_t kSeedReplica = 2;  // replicated object in the heap
-
-/// Dense heap position of `id` in the mark index, or kNoPos.
-std::uint32_t dense_pos(const rm::MarkScratch& scratch, ObjectId id) {
-  if (scratch.index.empty()) return kNoPos;
-  if (scratch.index_dense) {
-    const std::uint64_t off = raw(id) - raw(scratch.index.front().first);
-    return off < scratch.index.size() ? static_cast<std::uint32_t>(off)
-                                      : kNoPos;
-  }
-  auto it = std::lower_bound(
-      scratch.index.begin(), scratch.index.end(), id,
-      [](const auto& entry, ObjectId key) { return entry.first < key; });
-  if (it == scratch.index.end() || it->first != id) return kNoPos;
-  return static_cast<std::uint32_t>(it - scratch.index.begin());
-}
 
 /// Visits every set bit (= seed index) of the `words`-long slice.
 template <typename Fn>
@@ -256,12 +246,13 @@ ProcessSummary summarize(const rm::Process& process) {
   s.taken_at = process.network().now();
   s.mutation_epoch = process.mutation_epoch();
 
-  // ---- Phase 1: root trace + dense heap index ---------------------------
-  // LocalReach is read straight off the mark bits afterwards; the SCC pass
-  // below never marks, so the bits stay valid for the whole summarization.
+  // ---- Phase 1: root trace ----------------------------------------------
+  // LocalReach is read straight off the SoA mark state afterwards; the SCC
+  // pass below never marks, so the bits stay valid for the whole
+  // summarization.
+  const rm::Heap& heap = process.heap();
   const rm::MarkScratch& mark = process.begin_mark_epoch();
-  process.build_mark_index();
-  for (ObjectId root : process.heap().roots()) Lgc::seed(process, root, 1);
+  for (ObjectId root : heap.roots()) Lgc::seed(process, root, 1);
   for (const auto& [obj, ttl] : process.transient_roots()) {
     Lgc::seed(process, obj, 1);
   }
@@ -288,16 +279,16 @@ ProcessSummary summarize(const rm::Process& process) {
     s.replicas[e.object].out_props.push_back({e.process, e.uc});
   }
   for (auto& [obj, r] : s.replicas) {
-    const std::uint32_t pos = dense_pos(mark, obj);
-    r.local_reach = pos != kNoPos && mark.index[pos].second->marks(epoch) != 0;
+    const std::uint32_t pos = heap.slot_of(obj);
+    r.local_reach = pos != kNoPos && heap.marks(pos, epoch) != 0;
   }
 
   sc.remote_anchors.clear();
   for (const auto& [key, scion] : process.scions()) {
     ScionSummary& t = s.scions[key];
     t.ic = scion.ic;
-    const std::uint32_t pos = dense_pos(mark, key.anchor);
-    t.local_reach = pos != kNoPos && mark.index[pos].second->marks(epoch) != 0;
+    const std::uint32_t pos = heap.slot_of(key.anchor);
+    t.local_reach = pos != kNoPos && heap.marks(pos, epoch) != 0;
     if (pos == kNoPos) sc.remote_anchors.push_back(key.anchor);
   }
   std::sort(sc.remote_anchors.begin(), sc.remote_anchors.end());
@@ -328,7 +319,7 @@ ProcessSummary summarize(const rm::Process& process) {
   sc.seed_flags.assign(seed_count, 0);
   sc.seed_nodes.resize(seed_count);
   for (std::size_t i = 0; i < seed_count; ++i) {
-    sc.seed_nodes[i] = dense_pos(mark, sc.seed_objs[i]);
+    sc.seed_nodes[i] = heap.slot_of(sc.seed_objs[i]);
   }
   for (const auto& key : s.anchor_index) {
     const std::uint32_t i = seed_pos_of(key.anchor);
@@ -340,7 +331,7 @@ ProcessSummary summarize(const rm::Process& process) {
   }
 
   // ---- Phase 2: iterative Tarjan over the seed-reachable subgraph ------
-  const std::size_t heap_size = mark.index.size();
+  const std::size_t heap_size = heap.slab_size();
   sc.num.assign(heap_size, kNoPos);
   sc.low.assign(heap_size, 0);
   sc.scc.assign(heap_size, kNoPos);
@@ -364,15 +355,15 @@ ProcessSummary summarize(const rm::Process& process) {
     push_node(sc.seed_nodes[si]);
     while (!sc.frames.empty()) {
       const std::uint32_t n = sc.frames.back().node;
-      const rm::Object* obj = mark.index[n].second;
-      if (sc.frames.back().ref < obj->refs.size()) {
-        const rm::Ref ref = obj->refs[sc.frames.back().ref++];
+      const rm::Object& obj = heap.at_slot(n);
+      if (sc.frames.back().ref < obj.refs.size()) {
+        const rm::Ref ref = obj.refs[sc.frames.back().ref++];
         // Edge resolution mirrors Lgc::drain exactly: local binding to a
         // present replica, local binding whose replica vanished (all stubs
         // for the target), or remote binding (the exact {target, via} stub
         // when it exists, every stub for the target otherwise).
         if (ref.is_local()) {
-          const std::uint32_t t = dense_pos(mark, ref.target);
+          const std::uint32_t t = heap.slot_of(ref.target);
           if (t != kNoPos) {
             sc.obj_edges.emplace_back(n, t);
             if (sc.num[t] == kNoPos) {

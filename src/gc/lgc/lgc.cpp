@@ -1,7 +1,5 @@
 #include "gc/lgc/lgc.h"
 
-#include <algorithm>
-
 #include "obs/recorder.h"
 #include "util/log.h"
 #include "util/trace.h"
@@ -9,22 +7,6 @@
 namespace rgc::gc {
 
 namespace {
-
-/// Resolves `id` to its local replica through the dense heap index when one
-/// was built for this epoch, falling back to the heap's tree otherwise.
-const rm::Object* find_object(const rm::Process& process,
-                              const rm::MarkScratch& scratch, ObjectId id) {
-  if (scratch.index.empty()) return process.heap().find(id);
-  if (scratch.index_dense) {
-    // Contiguous ids: a direct offset (wrap-around makes below-base huge).
-    const std::uint64_t off = raw(id) - raw(scratch.index.front().first);
-    return off < scratch.index.size() ? scratch.index[off].second : nullptr;
-  }
-  auto it = std::lower_bound(
-      scratch.index.begin(), scratch.index.end(), id,
-      [](const auto& entry, ObjectId key) { return entry.first < key; });
-  return it != scratch.index.end() && it->first == id ? it->second : nullptr;
-}
 
 /// Marks a stub and records its key in the scratch on first touch this
 /// epoch, so summarization can read back the touched set without scanning
@@ -52,8 +34,10 @@ void mark_stub_chain(const rm::Process& process, rm::MarkScratch& scratch,
 
 void Lgc::seed(const rm::Process& process, ObjectId id, std::uint8_t bit) {
   rm::MarkScratch& scratch = process.mark_scratch();
-  if (const rm::Object* obj = find_object(process, scratch, id)) {
-    if (obj->mark(scratch.epoch, bit)) scratch.queue.push_back(obj);
+  const rm::Heap& heap = process.heap();
+  const std::uint32_t slot = heap.slot_of(id);
+  if (slot != rm::Heap::kNoSlot) {
+    if (heap.mark(slot, scratch.epoch, bit)) scratch.queue.push_back(slot);
   } else {
     // The seed designates a remote object: keep its stub chain alive.
     process.for_each_stub_for(
@@ -64,13 +48,17 @@ void Lgc::seed(const rm::Process& process, ObjectId id, std::uint8_t bit) {
 void Lgc::drain(const rm::Process& process, std::uint8_t bit,
                 std::uint64_t* traced) {
   rm::MarkScratch& scratch = process.mark_scratch();
+  const rm::Heap& heap = process.heap();
   while (scratch.head < scratch.queue.size()) {
-    const rm::Object* obj = scratch.queue[scratch.head++];
+    const rm::Object& obj = heap.at_slot(scratch.queue[scratch.head++]);
     if (traced != nullptr) ++*traced;
-    for (const rm::Ref& ref : obj->refs) {
+    for (const rm::Ref& ref : obj.refs) {
       if (ref.is_local()) {
-        if (const rm::Object* target = find_object(process, scratch, ref.target)) {
-          if (target->mark(scratch.epoch, bit)) scratch.queue.push_back(target);
+        const std::uint32_t target = heap.slot_of(ref.target);
+        if (target != rm::Heap::kNoSlot) {
+          if (heap.mark(target, scratch.epoch, bit)) {
+            scratch.queue.push_back(target);
+          }
         } else {
           // Local binding whose replica vanished: resolve through any
           // surviving chain (defensive; cannot happen in well-formed runs).
@@ -95,7 +83,6 @@ void Lgc::trace(const rm::Process& process, std::span<const ObjectId> seeds,
 
 LgcMark Lgc::mark(const rm::Process& process, const LgcConfig& config) {
   rm::MarkScratch& scratch = process.begin_mark_epoch();
-  process.build_mark_index();  // whole-heap trace: the index pays for itself
   LgcMark marked{scratch.epoch, 0};
 
   // Phase 1 — mutator roots (including transient invocation roots).
@@ -135,28 +122,25 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
   result.traced = marked.traced;
 
   // Sweep: one in-order heap pass reads the masks (building object_reach in
-  // key order) and collects the garbage.  Finalizable unreachable objects
+  // id order) and collects the garbage.  Finalizable unreachable objects
   // run the configured strategy and may resurrect (they stay in the heap,
   // to be finalized again next time — the Figure 6/7 worst case).
-  auto& objects = process.heap().objects();
+  rm::Heap& heap = process.heap();
   const std::uint64_t now = process.network().now();
   util::Histogram& reclaim_latency =
       process.metrics().histogram("gc.reclaim_latency_steps");
-  result.object_reach.reserve(objects.size());
-  for (auto it = objects.begin(); it != objects.end();) {
-    rm::Object& obj = it->second;
-    if (const std::uint8_t mask = obj.marks(epoch)) {
-      result.object_reach.append(it->first, mask);
-      ++it;
-      continue;
+  result.object_reach.reserve(heap.size());
+  heap.for_each([&](ObjectId id, std::uint32_t slot, rm::Object& obj) {
+    if (const std::uint8_t mask = heap.marks(slot, epoch)) {
+      result.object_reach.append(id, mask);
+      return;
     }
     if (obj.finalizable && config.finalizer != nullptr &&
         config.finalizer->strategy() != FinalizeStrategy::kNone) {
       obj.finalizable = false;
       if (config.finalizer->finalize(obj)) {
         ++result.resurrected;
-        ++it;
-        continue;
+        return;
       }
     }
     // Reclaim-latency accounting: how long this replica floated between
@@ -164,10 +148,10 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
     // that frees it.  Unstamped objects (created-and-dropped inside one
     // step, or garbage from before auditing existed) record as 0.
     reclaim_latency.record(obj.unlinked_at == 0 ? 0 : now - obj.unlinked_at);
-    process.note_reclaimed(it->first, now);
-    result.reclaimed.push_back(it->first);
-    it = objects.erase(it);
-  }
+    process.note_reclaimed(id, now);
+    result.reclaimed.push_back(id);
+    heap.erase(id);
+  });
 
   // New stub set (§2.2.2): a stub survives only if some trace reached it.
   result.stub_reach.reserve(process.stubs().size());

@@ -112,7 +112,9 @@ std::vector<VertexId> GraphStore::out_neighbors(VertexId from) const {
   const ProcessId shard = shard_of(from);
   const rm::Object* obj = cluster_.process(shard).heap().find(from);
   if (obj == nullptr) return {};
-  std::vector<VertexId> out = obj->ref_targets();
+  std::vector<VertexId> out;
+  out.reserve(obj->refs.size());
+  obj->for_each_ref([&](const rm::Ref& r) { out.push_back(r.target); });
   return out;
 }
 

@@ -264,13 +264,24 @@ bool Network::step() {
   return in_flight_count_ != 0;
 }
 
+void Network::skip_to(std::uint64_t target) {
+  if (target <= now_) return;
+  assert(in_flight_.empty() || in_flight_.begin()->first > target);
+  now_ = target;
+  util::Trace::set_sim_now(now_);
+}
+
 std::uint64_t Network::run_until_quiescent(std::uint64_t max_steps) {
-  std::uint64_t steps = 0;
-  while (in_flight_count_ != 0 && steps < max_steps) {
+  const std::uint64_t start = now_;
+  while (in_flight_count_ != 0 && now_ - start < max_steps) {
+    // Jump to just before the next delivery (clamped to the step budget so
+    // a far-future due date cannot overshoot it), then execute that step.
+    const std::uint64_t due = in_flight_.begin()->first;
+    const std::uint64_t limit = start + max_steps;
+    if (due > now_ + 1) skip_to(std::min(due, limit) - 1);
     step();
-    ++steps;
   }
-  return steps;
+  return now_ - start;
 }
 
 std::uint64_t Network::sent_at_step(const std::string& kind,

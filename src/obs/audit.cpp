@@ -107,6 +107,7 @@ const HealthReport& HealthAuditor::run(bool deep) {
   out.step = cluster_.now();
   out.deep = deep;
 
+  update_heap_gauges();
   check_stub_scion(out);
   check_prop_pairing(out);
   check_conservation(out);
@@ -126,6 +127,15 @@ const HealthReport& HealthAuditor::run(bool deep) {
   last_warnings_.set(out.warnings());
   report_ = std::move(out);
   return report_;
+}
+
+void HealthAuditor::update_heap_gauges() {
+  for (ProcessId pid : cluster_.process_ids()) {
+    rm::Process& proc = cluster_.process(pid);
+    const rm::Heap& heap = proc.heap();
+    proc.metrics().gauge("process.heap_slab_bytes").set(heap.slab_bytes());
+    proc.metrics().gauge("process.heap_live_fraction").set(heap.live_percent());
+  }
 }
 
 // ---- Shallow checks --------------------------------------------------------
@@ -362,11 +372,13 @@ void HealthAuditor::deep_checks(HealthReport& out) {
     // Reclaim safety: every reference held by a *live* (marked) object must
     // still resolve locally — a replica or a stub chain.  The worklist
     // doubles as the visited list, so this walks exactly the touched state.
-    for (const rm::Object* obj : scratch.queue) {
-      obj->unlinked_at = 0;  // reachable: clear any stale unlink stamp
-      for (const rm::Ref& ref : obj->refs) {
+    const rm::Heap& heap = proc.heap();
+    for (std::uint32_t slot : scratch.queue) {
+      const rm::Object& obj = heap.at_slot(slot);
+      obj.unlinked_at = 0;  // reachable: clear any stale unlink stamp
+      for (const rm::Ref& ref : obj.refs) {
         if (proc.knows(ref.target)) continue;
-        std::string detail = "live " + rgc::to_string(obj->id) +
+        std::string detail = "live " + rgc::to_string(obj.id) +
                              " holds a dangling reference to " +
                              rgc::to_string(ref.target);
         for (std::size_t i = 0; i < ring_n; ++i) {
@@ -383,12 +395,12 @@ void HealthAuditor::deep_checks(HealthReport& out) {
 
     // Floating garbage: present but unreached by any trace family — the
     // next collection sweeps it.  Stamp first sighting and age the oldest.
-    for (const auto& [id, obj] : proc.heap().objects()) {
-      if (obj.marks(scratch.epoch) != 0) continue;
+    heap.for_each([&](ObjectId, std::uint32_t slot, const rm::Object& obj) {
+      if (heap.marks(slot, scratch.epoch) != 0) return;
       if (obj.unlinked_at == 0) obj.unlinked_at = now;
       ++floating;
       max_age = std::max(max_age, now - obj.unlinked_at);
-    }
+    });
   }
   floating_garbage_.set(floating);
   floating_garbage_age_.set(max_age);

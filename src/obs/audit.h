@@ -112,6 +112,13 @@ class HealthAuditor final : public net::Network::Observer {
  private:
   const HealthReport& run(bool deep);
 
+  /// Refreshes per-process heap gauges (process.heap_slab_bytes /
+  /// process.heap_live_fraction) on every scheduled audit.  Both values are
+  /// functions of the simulation state alone — the arena's slab and live
+  /// count evolve only through the deterministic protocol steps — so they
+  /// are safe for deterministic reports, unlike wall-clock or RSS readings.
+  void update_heap_gauges();
+
   void check_stub_scion(HealthReport& out);
   void check_prop_pairing(HealthReport& out);
   void check_conservation(HealthReport& out);

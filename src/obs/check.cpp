@@ -53,7 +53,8 @@ ConsistencyReport check_cluster(const core::Cluster& cluster) {
     // Every reference any replica holds, and every root, must resolve at
     // this process — a local replica or a stub.  This is the "every row
     // referenced exists" scan of an offline database check.
-    for (const auto& [id, obj] : proc.heap().objects()) {
+    proc.heap().for_each([&](ObjectId id, std::uint32_t,
+                             const rm::Object& obj) {
       for (const rm::Ref& r : obj.refs) {
         ++report.checked_refs;
         if (proc.knows(r.target)) continue;
@@ -61,7 +62,7 @@ ConsistencyReport check_cluster(const core::Cluster& cluster) {
             rgc::to_string(id) + " holds a reference to " +
                 rgc::to_string(r.target) + " that resolves to nothing");
       }
-    }
+    });
     for (ObjectId root : proc.heap().roots()) {
       if (proc.knows(root)) continue;
       add(report.findings, Severity::kError, "root_integrity", pid,

@@ -62,6 +62,25 @@ std::string render_dashboard(const core::Cluster& cluster,
             health.findings.size() - kMaxFindings);
   }
 
+  // ---- Memory ----------------------------------------------------------
+  std::uint64_t slab_bytes = 0;
+  std::uint64_t live_objects = 0;
+  std::uint64_t slab_slots = 0;
+  for (ProcessId pid : cluster.process_ids()) {
+    const rm::Process& proc = cluster.process(pid);
+    slab_bytes += proc.metrics().gauge_value("process.heap_slab_bytes");
+    live_objects += proc.heap().size();
+    slab_slots += proc.heap().slab_size();
+  }
+  appendf(out,
+          "memory: %.1f MiB heap slabs (%llu%% live) | peak RSS %.1f MiB\n",
+          static_cast<double>(slab_bytes) / (1024.0 * 1024.0),
+          static_cast<unsigned long long>(
+              slab_slots == 0 ? 100 : live_objects * 100 / slab_slots),
+          static_cast<double>(
+              cluster.profile().gauge_value("cluster.peak_rss_bytes")) /
+              (1024.0 * 1024.0));
+
   // ---- Flight recorder -------------------------------------------------
   if (const FlightRecorder* rec = cluster.recorder()) {
     appendf(out,

@@ -37,7 +37,8 @@ void Process::propagate(ObjectId object, ProcessId to) {
 
   auto msg = std::make_unique<PropagateMsg>();
   msg->object = object;
-  msg->refs = obj->ref_targets();
+  msg->refs.reserve(obj->refs.size());
+  obj->for_each_ref([&](const Ref& r) { msg->refs.push_back(r.target); });
   msg->payload_bytes = obj->payload_bytes;
   msg->uc = op->uc;
   const std::uint64_t seq = network_->send(id_, to, std::move(msg));
@@ -294,7 +295,7 @@ void Process::sever_stub(StubKey key) {
   // replica or an alternative chain when one exists, and are removed
   // otherwise (the remote object is unreachable from here for good).
   std::uint64_t removed = 0;
-  for (auto& [id, obj] : heap_.objects()) {
+  heap_.for_each([&](ObjectId, std::uint32_t, Object& obj) {
     for (auto it = obj.refs.begin(); it != obj.refs.end();) {
       if (it->target != target || it->via != key.target_process) {
         ++it;
@@ -311,7 +312,7 @@ void Process::sever_stub(StubKey key) {
         ++removed;
       }
     }
-  }
+  });
   if (!local && alt == nullptr) {
     // Nothing resolves the target here anymore: roots pinning it are void,
     // and our own scions anchored at it now dangle — cascade the nack

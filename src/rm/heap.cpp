@@ -1,28 +1,97 @@
 #include "rm/heap.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace rgc::rm {
 
 Object& Heap::put(ObjectId id, std::vector<Ref> refs,
                   std::uint32_t payload_bytes) {
-  Object& obj = objects_[id];
+  std::uint32_t slot = index_.find(raw(id));
+  if (slot == kNoSlot) {
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+      mark_epoch_.push_back(0);
+      mark_bits_.push_back(0);
+    }
+    // A reused slot must not leak its previous occupant's state: epoch 0
+    // never matches a live mark epoch (those start at 1 and only grow), so
+    // the new object reads as unmarked in every family.
+    mark_epoch_[slot] = 0;
+    mark_bits_[slot] = 0;
+    slab_[slot].unlinked_at = 0;
+    slab_[slot].finalizable = false;
+    index_.insert(raw(id), slot);
+    pending_.push_back(Entry{id, slot});
+    ++size_;
+  }
+  Object& obj = slab_[slot];
   obj.id = id;
   obj.refs = std::move(refs);
   obj.payload_bytes = payload_bytes;
   return obj;
 }
 
-Object* Heap::find(ObjectId id) {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
+bool Heap::erase(ObjectId id) {
+  const std::uint32_t slot = index_.find(raw(id));
+  if (slot == kNoSlot) return false;
+  index_.erase(raw(id));
+  // Release the edge storage now (the slab entry may sit free for a while)
+  // and reset the identity so stale ordered entries stop matching.
+  slab_[slot] = Object{};
+  free_.push_back(slot);
+  ++stale_;
+  --size_;
+  return true;
 }
 
-const Object* Heap::find(ObjectId id) const {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
+void Heap::ensure_order() const {
+  if (pending_.empty() && stale_ == 0) return;
+  if (stale_ != 0) {
+    std::erase_if(order_, [this](const Entry& e) { return !entry_live(e); });
+  }
+  if (!pending_.empty()) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.id != b.id ? a.id < b.id : a.slot < b.slot;
+              });
+    std::erase_if(pending_, [this](const Entry& e) { return !entry_live(e); });
+    // erase + re-put of the same id can leave the identical (id, slot)
+    // entry both here and in order_ (the free list hands back the same
+    // slot); the unique() after the merge collapses such twins.
+    pending_.erase(std::unique(pending_.begin(), pending_.end(),
+                               [](const Entry& a, const Entry& b) {
+                                 return a.id == b.id && a.slot == b.slot;
+                               }),
+                   pending_.end());
+    const std::size_t mid = order_.size();
+    order_.insert(order_.end(), pending_.begin(), pending_.end());
+    std::inplace_merge(order_.begin(),
+                       order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       order_.end(), [](const Entry& a, const Entry& b) {
+                         return a.id != b.id ? a.id < b.id : a.slot < b.slot;
+                       });
+    order_.erase(std::unique(order_.begin(), order_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               return a.id == b.id && a.slot == b.slot;
+                             }),
+                 order_.end());
+    pending_.clear();
+  }
+  stale_ = 0;
 }
 
-bool Heap::erase(ObjectId id) { return objects_.erase(id) > 0; }
+std::size_t Heap::slab_bytes() const noexcept {
+  return slab_.capacity() * sizeof(Object) +
+         mark_epoch_.capacity() * sizeof(std::uint64_t) +
+         mark_bits_.capacity() * sizeof(std::uint8_t) +
+         free_.capacity() * sizeof(std::uint32_t) +
+         (order_.capacity() + pending_.capacity()) * sizeof(Entry) +
+         index_.capacity_bytes();
+}
 
 }  // namespace rgc::rm

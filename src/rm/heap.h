@@ -1,13 +1,25 @@
-// Per-process object store and local roots.
+// Per-process object store and local roots — arena layout.
 //
-// Deliberately dumb: it owns replicas and the root set and nothing else.
+// Objects live in a slab (std::vector<Object>) addressed by dense 32-bit
+// slots; an open-addressing flat hash resolves ObjectId -> slot in O(1)
+// with no per-node allocation, and a free list recycles slots emptied by
+// the sweep.  The hot per-object mark state (epoch + kReach* mask) is
+// struct-of-arrays: two parallel slabs the collectors touch without
+// pulling whole Objects through the cache.
+//
+// Iteration stays deterministic and in id order — the invariant every
+// byte-identity guarantee (summaries, recordings, reports) rests on.  The
+// ordered view is maintained lazily: put() appends to a pending list,
+// erase() just counts the entry stale, and the next ordered pass purges /
+// merges in one O(n) sweep.  A bulk build followed by collections (the
+// common life cycle) therefore never re-sorts the whole heap.
+//
 // Reachability, stubs/scions and propagation lists belong to Process; the
-// tracing itself to gc/lgc.  Iteration order is deterministic (ordered map)
-// so collections and snapshots are reproducible run to run.
+// tracing itself to gc/lgc.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -18,34 +30,255 @@ namespace rgc::rm {
 
 class Heap {
  public:
+  /// Sentinel slot: "id not present".
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One live object in the ordered view: its id and its slab slot.
+  struct Entry {
+    ObjectId id{kNoObject};
+    std::uint32_t slot{kNoSlot};
+  };
+
   /// Creates a replica; replaces content if one already exists (an update
   /// delivered by the coherence engine overwrites the replica's edges).
+  /// New objects reuse a free slot when one exists; a reused slot's mark
+  /// state and unlink stamp are reset so nothing leaks from its previous
+  /// occupant.
   Object& put(ObjectId id, std::vector<Ref> refs = {},
               std::uint32_t payload_bytes = 16);
 
-  [[nodiscard]] bool contains(ObjectId id) const { return objects_.contains(id); }
-  [[nodiscard]] Object* find(ObjectId id);
-  [[nodiscard]] const Object* find(ObjectId id) const;
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return index_.find(raw(id)) != kNoSlot;
+  }
+  [[nodiscard]] Object* find(ObjectId id) {
+    const std::uint32_t slot = index_.find(raw(id));
+    return slot == kNoSlot ? nullptr : &slab_[slot];
+  }
+  [[nodiscard]] const Object* find(ObjectId id) const {
+    const std::uint32_t slot = index_.find(raw(id));
+    return slot == kNoSlot ? nullptr : &slab_[slot];
+  }
 
-  /// Removes the replica.  Returns true when it existed.
+  /// Removes the replica.  Returns true when it existed.  The slot joins
+  /// the free list; ordered iteration already underway skips it.
   bool erase(ObjectId id);
 
-  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  [[nodiscard]] const std::map<ObjectId, Object>& objects() const noexcept {
-    return objects_;
+  // ---- Dense view (collectors) ----------------------------------------
+  // Slots are stable for an object's lifetime; they are NOT stable across
+  // erase + re-put and carry no ordering meaning.  Everything emitted to
+  // summaries/results must be keyed by ObjectId, never by slot.
+
+  /// Slot of `id`, or kNoSlot.  O(1), allocation-free.
+  [[nodiscard]] std::uint32_t slot_of(ObjectId id) const {
+    return index_.find(raw(id));
   }
-  [[nodiscard]] std::map<ObjectId, Object>& objects() noexcept { return objects_; }
+  [[nodiscard]] Object& at_slot(std::uint32_t slot) { return slab_[slot]; }
+  [[nodiscard]] const Object& at_slot(std::uint32_t slot) const {
+    return slab_[slot];
+  }
+  /// Slab extent (live + free slots) — sizes dense side arrays.
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slab_.size(); }
 
-  // Local roots.  A root may designate a local replica or a stubbed remote
-  // object (a register/global holding a remote reference).
+  // ---- SoA mark state (epoch-validated, no reset pass) -----------------
+  // Exactly the old intrusive Object::mark/marks semantics, hoisted into
+  // parallel arrays: bits from older epochs are stale and read as zero.
+  // Const because marking is a logically read-only phase that may run on a
+  // const view (same contract as MarkScratch).
+
+  /// Sets `bit` in `slot`'s mask for `epoch`, lazily discarding any stale
+  /// mask.  Returns true when the bit was newly set (first visit in this
+  /// trace family — the caller should enqueue the slot).
+  bool mark(std::uint32_t slot, std::uint64_t epoch,
+            std::uint8_t bit) const {
+    if (mark_epoch_[slot] != epoch) {
+      mark_epoch_[slot] = epoch;
+      mark_bits_[slot] = bit;
+      return true;
+    }
+    if (mark_bits_[slot] & bit) return false;
+    mark_bits_[slot] |= bit;
+    return true;
+  }
+
+  /// The kReach* mask accumulated during `epoch` (zero if untouched).
+  [[nodiscard]] std::uint8_t marks(std::uint32_t slot,
+                                   std::uint64_t epoch) const {
+    return mark_epoch_[slot] == epoch ? mark_bits_[slot] : 0;
+  }
+
+  // ---- Ordered iteration (id ascending, deterministic) -----------------
+
+  /// Visits every live object as fn(ObjectId, slot, Object&), in id order.
+  /// The body may erase the visited object and may put() new ones (they
+  /// are not visited this pass) — the sweep contract.  Entries erased by
+  /// the body are skipped for the rest of the pass.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    ensure_order();
+    // order_ is never resized mid-pass: erase() only marks entries stale
+    // and put() appends to pending_, so indexing stays valid throughout.
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const Entry e = order_[i];
+      if (!entry_live(e)) continue;
+      fn(e.id, e.slot, slab_[e.slot]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    ensure_order();
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const Entry e = order_[i];
+      if (!entry_live(e)) continue;
+      fn(e.id, e.slot, static_cast<const Object&>(slab_[e.slot]));
+    }
+  }
+
+  // ---- Local roots ------------------------------------------------------
+  // A root may designate a local replica or a stubbed remote object (a
+  // register/global holding a remote reference).
   void add_root(ObjectId id) { roots_.insert(id); }
   bool remove_root(ObjectId id) { return roots_.erase(id) > 0; }
   [[nodiscard]] bool is_root(ObjectId id) const { return roots_.contains(id); }
-  [[nodiscard]] const std::set<ObjectId>& roots() const noexcept { return roots_; }
+  [[nodiscard]] const std::set<ObjectId>& roots() const noexcept {
+    return roots_;
+  }
+
+  // ---- Introspection (process.heap_* gauges, arena tests) --------------
+
+  /// Free-listed slots awaiting reuse.
+  [[nodiscard]] std::size_t free_slots() const noexcept { return free_.size(); }
+  /// Bytes held by the arena itself: slab, SoA mark arrays, free list,
+  /// index and ordered view (capacity, not size — what the allocator
+  /// actually carved out).  O(1) — deliberately excludes the per-object
+  /// refs vectors, which callers grow behind the arena's back; the gauge
+  /// built on this must stay cheap enough for every scheduled audit, and
+  /// total footprint is the peak-RSS gauge's job.
+  [[nodiscard]] std::size_t slab_bytes() const noexcept;
+  /// Live slots as a percentage of the slab extent (100 when empty —
+  /// an empty arena wastes nothing).
+  [[nodiscard]] std::uint64_t live_percent() const noexcept {
+    return slab_.empty() ? 100 : size_ * 100 / slab_.size();
+  }
 
  private:
-  std::map<ObjectId, Object> objects_;
+  /// Open-addressing flat hash, raw ObjectId -> slot.  Power-of-two
+  /// capacity, linear probing, backward-shift deletion (no tombstones, so
+  /// heavy sweep/reuse churn never degrades probes).  raw(kNoObject) is
+  /// the empty marker — no real object carries that id.
+  class FlatIndex {
+   public:
+    FlatIndex() { rehash(16); }
+
+    [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
+      std::size_t i = bucket(key);
+      while (true) {
+        if (keys_[i] == key) return vals_[i];
+        if (keys_[i] == kEmpty) return kNoSlot;
+        i = (i + 1) & mask_;
+      }
+    }
+
+    void insert(std::uint64_t key, std::uint32_t val) {
+      if ((size_ + 1) * 4 > (mask_ + 1) * 3) rehash((mask_ + 1) * 2);
+      std::size_t i = bucket(key);
+      while (keys_[i] != kEmpty) {
+        if (keys_[i] == key) {
+          vals_[i] = val;
+          return;
+        }
+        i = (i + 1) & mask_;
+      }
+      keys_[i] = key;
+      vals_[i] = val;
+      ++size_;
+    }
+
+    bool erase(std::uint64_t key) {
+      std::size_t hole = bucket(key);
+      while (true) {
+        if (keys_[hole] == kEmpty) return false;
+        if (keys_[hole] == key) break;
+        hole = (hole + 1) & mask_;
+      }
+      // Backward shift: pull every displaced successor whose probe path
+      // crosses the hole, keeping all chains contiguous.
+      std::size_t j = hole;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (keys_[j] == kEmpty) break;
+        const std::size_t ideal = bucket(keys_[j]);
+        if (((j - ideal) & mask_) >= ((j - hole) & mask_)) {
+          keys_[hole] = keys_[j];
+          vals_[hole] = vals_[j];
+          hole = j;
+        }
+      }
+      keys_[hole] = kEmpty;
+      --size_;
+      return true;
+    }
+
+    void reserve(std::size_t n) {
+      std::size_t cap = 16;
+      while (cap * 3 < n * 4) cap *= 2;
+      if (cap > mask_ + 1) rehash(cap);
+    }
+
+    [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+      return keys_.capacity() * sizeof(std::uint64_t) +
+             vals_.capacity() * sizeof(std::uint32_t);
+    }
+
+   private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+    [[nodiscard]] std::size_t bucket(std::uint64_t key) const {
+      // Fibonacci mixing: ids are often contiguous, so spread the high bits.
+      key *= 0x9E3779B97F4A7C15ull;
+      return (key ^ (key >> 32)) & mask_;
+    }
+
+    void rehash(std::size_t cap) {
+      std::vector<std::uint64_t> old_keys = std::move(keys_);
+      std::vector<std::uint32_t> old_vals = std::move(vals_);
+      keys_.assign(cap, kEmpty);
+      vals_.assign(cap, 0);
+      mask_ = cap - 1;
+      size_ = 0;
+      for (std::size_t i = 0; i < old_keys.size(); ++i) {
+        if (old_keys[i] != kEmpty) insert(old_keys[i], old_vals[i]);
+      }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> vals_;
+    std::size_t mask_{0};
+    std::size_t size_{0};
+  };
+
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return e.slot < slab_.size() && slab_[e.slot].id == e.id;
+  }
+
+  /// Brings order_ up to date: purges stale entries, merges pending ones.
+  /// O(stale + pending·log(pending) + merge), nothing when clean.
+  void ensure_order() const;
+
+  std::vector<Object> slab_;
+  /// SoA mark state, parallel to slab_ (see mark()/marks()).
+  mutable std::vector<std::uint64_t> mark_epoch_;
+  mutable std::vector<std::uint8_t> mark_bits_;
+  std::vector<std::uint32_t> free_;
+  FlatIndex index_;
+  /// Ordered live view (id ascending), possibly holding stale entries
+  /// until the next ensure_order(); pending_ holds puts since then.
+  mutable std::vector<Entry> order_;
+  mutable std::vector<Entry> pending_;
+  mutable std::size_t stale_{0};
+  std::size_t size_{0};
   std::set<ObjectId> roots_;
 };
 

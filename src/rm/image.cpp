@@ -18,10 +18,10 @@ ProcessImage Process::capture_image(std::uint64_t now) const {
   image.collection_epoch = collection_epoch_;
 
   image.objects.reserve(heap_.size());
-  for (const auto& [id, obj] : heap_.objects()) {
+  heap_.for_each([&](ObjectId id, std::uint32_t, const Object& obj) {
     image.objects.push_back(
         ImageObject{id, obj.refs, obj.payload_bytes, obj.finalizable});
-  }
+  });
   image.roots.assign(heap_.roots().begin(), heap_.roots().end());
   image.transient_roots.assign(transient_roots_.begin(),
                                transient_roots_.end());

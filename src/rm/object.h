@@ -61,31 +61,10 @@ struct Object {
   /// read-only scan.
   mutable std::uint64_t unlinked_at{0};
 
-  /// Intrusive mark state for the LGC (epoch-validated, so no per-collection
-  /// reset pass and no side-table allocations).  `mark_bits` holds the
-  /// kReach* mask for the collection identified by `mark_epoch`; bits from
-  /// older epochs are stale and read as zero.  Mutable: marking is a
-  /// logically read-only phase that may run on a const Process view.
-  mutable std::uint64_t mark_epoch{0};
-  mutable std::uint8_t mark_bits{0};
-
-  /// Sets `bit` in this object's mask for `epoch`, lazily discarding any
-  /// stale mask.  Returns true when the bit was newly set (first visit in
-  /// this trace family — the caller should enqueue the object).
-  bool mark(std::uint64_t epoch, std::uint8_t bit) const {
-    if (mark_epoch != epoch) {
-      mark_epoch = epoch;
-      mark_bits = 0;
-    }
-    if (mark_bits & bit) return false;
-    mark_bits |= bit;
-    return true;
-  }
-
-  /// The kReach* mask accumulated during `epoch` (zero if untouched).
-  [[nodiscard]] std::uint8_t marks(std::uint64_t epoch) const {
-    return mark_epoch == epoch ? mark_bits : 0;
-  }
+  // NOTE: the LGC mark state (epoch + kReach* mask) is NOT stored here —
+  // it lives in struct-of-arrays slabs inside rm::Heap (Heap::mark /
+  // Heap::marks, addressed by slot), so the collectors' hot loops touch
+  // two packed arrays instead of pulling whole Objects through the cache.
 
   /// Adds a reference; duplicates (same target, any binding) are collapsed.
   bool add_ref(Ref ref) {
@@ -108,6 +87,16 @@ struct Object {
                        [&](const Ref& r) { return r.target == target; });
   }
 
+  /// Visits every outgoing reference without materializing a vector — the
+  /// hot-path replacement for ref_targets() (which allocates and survives
+  /// only for test convenience).
+  template <typename Fn>
+  void for_each_ref(Fn&& fn) const {
+    for (const Ref& r : refs) fn(r);
+  }
+
+  /// Allocating snapshot of the reference targets.  Test/diagnostic use
+  /// only; hot paths iterate `refs` or use for_each_ref.
   [[nodiscard]] std::vector<ObjectId> ref_targets() const {
     std::vector<ObjectId> out;
     out.reserve(refs.size());

@@ -190,15 +190,39 @@ void Process::pin_transient_root(ObjectId target, std::uint32_t steps) {
   note_mutation();
 }
 
-void Process::tick() {
+void Process::tick(std::uint64_t elapsed) {
   for (auto it = transient_roots_.begin(); it != transient_roots_.end();) {
-    if (--it->second == 0) {
+    if (it->second <= elapsed) {
       it = transient_roots_.erase(it);
       note_mutation();
     } else {
+      it->second -= static_cast<std::uint32_t>(elapsed);
       ++it;
     }
   }
+}
+
+std::uint32_t Process::next_transient_expiry() const noexcept {
+  std::uint32_t min_ttl = 0;
+  for (const auto& [obj, ttl] : transient_roots_) {
+    if (min_ttl == 0 || ttl < min_ttl) min_ttl = ttl;
+  }
+  return min_ttl;
+}
+
+std::uint64_t Process::next_lease_expiry(std::uint64_t timeout) const noexcept {
+  // Same peer set as gc::Adgc::expire_leases: scion owners and propagation
+  // partners (stubs are deliberately lease-exempt there).
+  std::uint64_t earliest = ~std::uint64_t{0};
+  const auto consider = [&](ProcessId peer) {
+    if (peer == id_) return;
+    const std::uint64_t at = last_heard(peer) + timeout;
+    if (at < earliest) earliest = at;
+  };
+  for (const auto& [key, scion] : scions_) consider(key.src_process);
+  for (const auto& e : in_props_) consider(e.process);
+  for (const auto& e : out_props_) consider(e.process);
+  return earliest;
 }
 
 std::uint64_t Process::delivered_prop_seq(ProcessId src) const {

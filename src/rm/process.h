@@ -75,19 +75,12 @@ struct ReclaimRecord {
 /// this process (the cluster never marks one process from two threads).
 struct MarkScratch {
   std::uint64_t epoch{0};
-  /// Objects already handed out by drain() (queue[0..head) are processed).
+  /// Slots already handed out by drain() (queue[0..head) are processed).
   std::size_t head{0};
-  std::vector<const Object*> queue;
+  /// BFS worklist of heap slots (Heap::slot_of) — reference resolution is
+  /// O(1) index arithmetic against the arena, no side index to build.
+  std::vector<std::uint32_t> queue;
   std::vector<StubKey> stubs;
-  /// Optional dense heap index (id-sorted pointers into the heap), built by
-  /// Process::build_mark_index for whole-heap traces: resolving a reference
-  /// becomes a binary search over a contiguous array instead of a tree walk
-  /// per edge.  Empty when not built (per-seed traces skip it — building is
-  /// O(heap), only worth it when the trace will visit most of the heap).
-  std::vector<std::pair<ObjectId, const Object*>> index;
-  /// True when the indexed ids are contiguous — lookups become a direct
-  /// offset instead of a binary search (common right after bulk loads).
-  bool index_dense{false};
 };
 
 /// Per-process scratch for the one-pass SCC snapshot summarizer
@@ -98,8 +91,8 @@ struct MarkScratch {
 /// snapshots so steady-state summarization performs no scratch
 /// allocations — and under the same single-threaded-per-process contract.
 struct SummarizeScratch {
-  // Iterative Tarjan over the seed-reachable subgraph, indexed by dense
-  // heap position (MarkScratch::index order).
+  // Iterative Tarjan over the seed-reachable subgraph, indexed by arena
+  // slot (Heap::slot_of / Heap::slab_size extent).
   std::vector<std::uint32_t> num;
   std::vector<std::uint32_t> low;
   std::vector<std::uint32_t> scc;
@@ -246,8 +239,23 @@ class Process {
   /// process re-registers before anyone may reclaim on its behalf.
   void restore_image(const struct ProcessImage& image, std::uint64_t now);
 
-  /// Advances process-local time: expires transient invocation roots.
-  void tick();
+  /// Advances process-local time by `elapsed` steps: expires transient
+  /// invocation roots whose TTL is covered.  The event-driven scheduler
+  /// passes the whole skipped stretch at once; callers clamp the jump so
+  /// no expiry lands strictly inside it (next_transient_expiry), which
+  /// keeps the per-step and time-skip schedules observably identical.
+  void tick(std::uint64_t elapsed = 1);
+
+  /// Steps until the earliest transient root expires (its TTL), or 0 when
+  /// none are pinned — the scheduler's clamp for time skips.
+  [[nodiscard]] std::uint32_t next_transient_expiry() const noexcept;
+
+  /// Earliest virtual step at which gc::Adgc::expire_leases could retire
+  /// state here (min over lease-holding peers of last_heard + timeout), or
+  /// UINT64_MAX when no peer holds leased state.  Mirrors expire_leases'
+  /// peer set exactly so event skips never jump over an expiry.
+  [[nodiscard]] std::uint64_t next_lease_expiry(
+      std::uint64_t timeout) const noexcept;
 
   // ---- Resolution helpers ----------------------------------------------
 
@@ -384,22 +392,7 @@ class Process {
     scratch_.head = 0;
     scratch_.queue.clear();
     scratch_.stubs.clear();
-    scratch_.index.clear();
-    scratch_.index_dense = false;
     return scratch_;
-  }
-
-  /// Fills the scratch's dense heap index (see MarkScratch::index).  Call
-  /// after begin_mark_epoch and before any heap mutation of this epoch.
-  void build_mark_index() const {
-    scratch_.index.reserve(heap_.size());
-    for (const auto& [id, obj] : heap_.objects()) {
-      scratch_.index.emplace_back(id, &obj);
-    }
-    scratch_.index_dense =
-        !scratch_.index.empty() &&
-        raw(scratch_.index.back().first) - raw(scratch_.index.front().first) ==
-            scratch_.index.size() - 1;
   }
 
   /// Scratch of the *current* epoch (for result read-back after tracing).

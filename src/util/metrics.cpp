@@ -84,6 +84,18 @@ std::vector<std::pair<std::string, const Histogram*>> Metrics::histogram_snapsho
   return out;
 }
 
+std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  unsigned long long kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
 std::uint64_t Histogram::percentile(double q) const noexcept {
   if (count_ == 0) return 0;
   if (q <= 0.0) return min_;

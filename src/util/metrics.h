@@ -169,6 +169,12 @@ class Metrics {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where unavailable.  A host-OS measurement, so —
+/// like wall-clock timers — it belongs only in nondeterministic registries
+/// (core::Cluster::profile()), never in deterministic reports.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
 /// Records elapsed wall-clock microseconds into a histogram on destruction;
 /// no-op when constructed with nullptr.  Wall times are nondeterministic by
 /// nature, so profiling histograms must live in registries excluded from

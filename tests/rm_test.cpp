@@ -2,6 +2,9 @@
 // (clean-before-send / clean-before-deliver), invocation counters.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "net/network.h"
 #include "rm/process.h"
 #include "util/ids.h"
@@ -298,6 +301,92 @@ TEST_F(RmFixture, ChainedInvocationRoutesThroughIntermediaries) {
   EXPECT_TRUE(p2.transient_roots().contains(ObjectId{2}));
   EXPECT_EQ(p1.metrics().get("rm.invocations_forwarded"), 0u)
       << "anchor is local at the callee: no chain hop";
+}
+
+// ---- Arena heap semantics (the dense-slot/SoA rewrite) ---------------------
+
+TEST_F(RmFixture, ArenaIterationIsIdOrderedWithMapSemantics) {
+  // Inserts land in scrambled order; for_each must visit in ascending id
+  // order exactly once each — the same observable sequence the old
+  // std::map heap produced, which every determinism guarantee leans on.
+  Heap heap;
+  const std::uint64_t ids[] = {7, 2, 9, 1, 100, 42, 3};
+  for (const std::uint64_t id : ids) heap.put(ObjectId{id});
+  std::vector<std::uint64_t> seen;
+  heap.for_each([&](ObjectId id, std::uint32_t slot, Object& obj) {
+    EXPECT_EQ(obj.id, id);
+    EXPECT_EQ(heap.slot_of(id), slot);
+    seen.push_back(raw(id));
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3, 7, 9, 42, 100}));
+
+  // Map semantics under churn: erase + re-put mid-sequence, new ids
+  // interleave into id order on the next pass, erased ones vanish.
+  EXPECT_TRUE(heap.erase(ObjectId{9}));
+  EXPECT_TRUE(heap.erase(ObjectId{1}));
+  heap.put(ObjectId{5});
+  heap.put(ObjectId{9});  // re-created after erase
+  seen.clear();
+  heap.for_each([&](ObjectId id, std::uint32_t, Object&) {
+    seen.push_back(raw(id));
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 3, 5, 7, 9, 42, 100}));
+
+  // The sweep contract: the body may erase the visited object and put new
+  // ones; puts are not visited this pass, erasures skip the rest of it.
+  seen.clear();
+  heap.for_each([&](ObjectId id, std::uint32_t, Object&) {
+    seen.push_back(raw(id));
+    if (raw(id) == 3) {
+      heap.erase(ObjectId{42});
+      heap.put(ObjectId{4});
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{2, 3, 5, 7, 9, 100}));
+  EXPECT_TRUE(heap.contains(ObjectId{4}));
+}
+
+TEST_F(RmFixture, ArenaFreeListReuseAndEpochValidatedMarks) {
+  Heap heap;
+  for (std::uint64_t id = 1; id <= 8; ++id) heap.put(ObjectId{id});
+  const std::size_t extent = heap.slab_size();
+
+  // Mark epoch 1: objects 1..4 get kReachLocal-style bit 0x1.
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const std::uint32_t slot = heap.slot_of(ObjectId{id});
+    ASSERT_NE(slot, Heap::kNoSlot);
+    EXPECT_TRUE(heap.mark(slot, 1, 0x1));
+    EXPECT_FALSE(heap.mark(slot, 1, 0x1)) << "second visit must dedupe";
+    EXPECT_EQ(heap.marks(slot, 1), 0x1);
+  }
+
+  // Sweep the unmarked half; their slots join the free list.
+  for (std::uint64_t id = 5; id <= 8; ++id) {
+    EXPECT_TRUE(heap.erase(ObjectId{id}));
+  }
+  EXPECT_EQ(heap.free_slots(), 4u);
+  EXPECT_EQ(heap.slab_size(), extent) << "erase must not shrink the slab";
+
+  // Reuse: new objects take free-listed slots without growing the slab,
+  // and a reused slot carries no mark state from its previous occupant.
+  std::set<std::uint32_t> reused;
+  for (std::uint64_t id = 101; id <= 104; ++id) {
+    heap.put(ObjectId{id});
+    reused.insert(heap.slot_of(ObjectId{id}));
+  }
+  EXPECT_EQ(heap.free_slots(), 0u);
+  EXPECT_EQ(heap.slab_size(), extent) << "reuse must not grow the slab";
+  for (const std::uint32_t slot : reused) {
+    EXPECT_EQ(heap.marks(slot, 1), 0)
+        << "reused slot leaked its previous occupant's epoch-1 marks";
+  }
+
+  // Epoch validation: epoch-2 marks shadow epoch 1 without any reset pass,
+  // and epoch-1 masks read as zero afterwards.
+  const std::uint32_t s1 = heap.slot_of(ObjectId{1});
+  EXPECT_TRUE(heap.mark(s1, 2, 0x2));
+  EXPECT_EQ(heap.marks(s1, 2), 0x2);
+  EXPECT_EQ(heap.marks(s1, 1), 0) << "stale epoch must read as unmarked";
 }
 
 }  // namespace
