@@ -26,6 +26,7 @@
 #include "core/report.h"
 #include "obs/dashboard.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/prom.h"
 #include "obs/recorder.h"
 #include "obs/replay.h"
@@ -68,6 +69,13 @@ struct Options {
   std::uint32_t record_capacity{4096};  // recorder ring capacity
   std::size_t threads{1};            // worker-pool width for replay
   std::uint64_t perturb_step{0};     // inject divergence at this step
+  // Cost ledger (docs/OBSERVABILITY.md "Cycle cost ledger"): --explain-cycle
+  // prints a proven cycle's hop-by-hop critical path (id 0 / bare flag =
+  // the slowest completed cycle); --ledger-jsonl exports every completed
+  // entry as one JSON object per line.
+  bool explain_cycle{false};
+  std::uint64_t explain_cycle_id{0};
+  std::string ledger_jsonl;
 };
 
 void usage(const char* argv0) {
@@ -84,7 +92,8 @@ void usage(const char* argv0) {
       "          [--record=FILE.rgcrec] [--replay=FILE.rgcrec] "
       "[--bisect=A.rgcrec,B.rgcrec]\n"
       "          [--drop P] [--dup P] [--max-delay N] [--rounds N]\n"
-      "          [--record-capacity N] [--threads N] [--perturb-step S]\n",
+      "          [--record-capacity N] [--threads N] [--perturb-step S]\n"
+      "          [--explain-cycle[=ID]] [--ledger-jsonl=FILE]\n",
       argv0);
 }
 
@@ -203,6 +212,16 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.perturb_step = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--explain-cycle") {
+      // Bare flag (or id 0) explains the slowest completed cycle.
+      opt.explain_cycle = true;
+      if (has_inline) {
+        opt.explain_cycle_id = std::strtoull(inline_value.c_str(), nullptr, 10);
+      }
+    } else if (arg == "--ledger-jsonl") {
+      const char* v = value();
+      if (!v) return false;
+      opt.ledger_jsonl = v;
     } else if (arg == "--watch") {
       opt.watch = true;
     } else if (arg == "--report") {
@@ -401,6 +420,31 @@ int run_one(const Options& opt, core::DetectorMode mode, const char* name,
                   [&](std::ostream& os) { obs::write_prometheus(cluster, os); },
                   "Prometheus metrics")) {
     rc = 1;
+  }
+  if (opt.explain_cycle || !opt.ledger_jsonl.empty()) {
+    obs::Ledger* ledger = cluster.ledger();
+    if (ledger == nullptr) {
+      std::fprintf(stderr, "ledger disabled (ledger_capacity 0)\n");
+      rc = 1;
+    } else {
+      if (ledger->completed() == 0) {
+        // A detection-only run proves cycles but never sweeps them; one
+        // collection round reclaims the cut garbage so the ledger has
+        // completed entries to explain/export.
+        cluster.collect_all();
+        cluster.run_until_quiescent();
+        cluster.collect_all();
+      }
+      if (opt.explain_cycle) {
+        std::fputs(ledger->explain(opt.explain_cycle_id).c_str(), stdout);
+      }
+      if (!opt.ledger_jsonl.empty() &&
+          !write_file(opt.ledger_jsonl,
+                      [&](std::ostream& os) { ledger->write_jsonl(os); },
+                      "ledger JSONL")) {
+        rc = 1;
+      }
+    }
   }
   if (timeline != nullptr) {
     if (!opt.trace_out.empty() &&

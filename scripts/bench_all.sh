@@ -58,7 +58,9 @@ if command -v python3 >/dev/null 2>&1; then
     fi
   done < <(git ls-files 'BENCH_*.json' 2>/dev/null)
   if [[ -n "$BASELINE" ]]; then
-    python3 scripts/bench_diff.py "$BASELINE" "$OUT"
+    # --gate: >10% regression in the guarded full_gc/trace/summarize
+    # headline fields (see bench_diff.py GATED) fails the whole run.
+    python3 scripts/bench_diff.py --gate "$BASELINE" "$OUT"
   else
     echo "no committed BENCH_*.json baseline to diff against"
   fi

@@ -1,15 +1,29 @@
 #!/usr/bin/env python3
 """Diff two bench JSONL files (see bench/bench_util.h) field by field.
 
-Usage: scripts/bench_diff.py BASELINE.jsonl CURRENT.jsonl
+Usage: scripts/bench_diff.py [--gate] [--threshold=PCT] BASELINE.jsonl CURRENT.jsonl
 
 Datapoints are matched by their "bench" name; numeric fields shared by both
 sides are printed with their relative change.  Fields present on only one
 side are listed (new benches and new fields are normal as the suite grows).
-Exit code is always 0 — the diff is a trajectory report, not a gate.
+
+Without --gate the exit code is always 0 — a trajectory report.  With
+--gate the guarded sections below (full_gc / trace / summarize) fail the
+run (exit 1) when a headline field regresses by more than the threshold
+(default 10%); benches or fields absent from either side are skipped, so
+filtered runs gate only what they measured.
 """
 import json
 import sys
+
+# Section -> {field: better-direction}.  Only headline wall-time/throughput
+# fields gate; counters and shape fields (reclaimed, allocs, ...) are
+# asserted by tests, not by the perf gate.
+GATED = {
+    "lgc_hotpath.trace": {"objects_per_sec": "higher"},
+    "lgc_hotpath.full_gc": {"serial_ms": "lower", "parallel_ms": "lower"},
+    "lgc_hotpath.summarize": {"one_pass_ms": "lower"},
+}
 
 
 def load(path):
@@ -33,10 +47,21 @@ def is_number(v):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    gate = False
+    threshold = 10.0
+    paths = []
+    for arg in args:
+        if arg == "--gate":
+            gate = True
+        elif arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    base_path, cur_path = sys.argv[1], sys.argv[2]
+    base_path, cur_path = paths
     base, cur = load(base_path), load(cur_path)
 
     print(f"bench diff: {base_path} -> {cur_path}")
@@ -65,6 +90,29 @@ def main():
                     print(f"    {field}: {bv:g} -> {cv:g}")
             elif bv != cv:
                 print(f"    {field}: {bv!r} -> {cv!r}")
+
+    if not gate:
+        return 0
+    failures = []
+    for name, fields in GATED.items():
+        if name not in base or name not in cur:
+            continue
+        for field, better in fields.items():
+            bv, cv = base[name].get(field), cur[name].get(field)
+            if not (is_number(bv) and is_number(cv)) or bv == 0:
+                continue
+            delta = (cv - bv) / abs(bv) * 100.0
+            regression = delta if better == "lower" else -delta
+            if regression > threshold:
+                failures.append(
+                    f"{name}.{field}: {bv:g} -> {cv:g} "
+                    f"({regression:+.1f}% worse, threshold {threshold:g}%)")
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} regression(s)):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"perf gate passed (threshold {threshold:g}%)")
     return 0
 
 

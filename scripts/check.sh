@@ -69,6 +69,18 @@ if [[ "${1:-}" != "--fast" ]]; then
   # populations where off-by-one slot bookkeeping actually bites.
   echo "== scale smoke under ASan/UBSan =="
   ctest --test-dir build-asan -L scale --output-on-failure -j "$JOBS"
+
+  # Cycle cost ledger (docs/OBSERVABILITY.md "Cycle cost ledger"): the
+  # ledger-labelled suite under ASan — the hop/slot arrays are fixed-size
+  # rings, exactly where out-of-bounds indexing would hide — and the
+  # determinism legs (byte-identical JSONL across threads=1 vs 8 and
+  # event-skip vs per-step schedules) re-checked explicitly so a ledger
+  # nondeterminism can never ship behind a filtered ctest run.
+  echo "== ledger suite under ASan/UBSan =="
+  ctest --test-dir build-asan -L ledger --output-on-failure -j "$JOBS"
+  echo "== ledger determinism (threads x event-skip) =="
+  ./build/tests/ledger_test \
+    --gtest_filter='LedgerTest.JsonlByteIdenticalAcrossThreadCounts:LedgerTest.JsonlByteIdenticalAcrossSchedules:LedgerTest.DecompositionIdentityHoldsOnJitteredMeshes'
 fi
 
 echo "OK"

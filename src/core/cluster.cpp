@@ -24,6 +24,13 @@ Cluster::Cluster(ClusterConfig config)
     recorder_->bind(&net_);
     net_.add_observer(recorder_.get());
   }
+  if (config_.ledger_capacity > 0) {
+    obs::LedgerConfig ledger_config;
+    ledger_config.capacity = config_.ledger_capacity;
+    ledger_ = std::make_unique<obs::Ledger>(ledger_config);
+    ledger_->bind(&net_);
+    net_.add_observer(ledger_.get());
+  }
   // Leases imply the fault model: invokes may legally race a crash window.
   faults_engaged_ = config_.lease_timeout > 0;
 }
@@ -69,6 +76,7 @@ void Cluster::build_node(ProcessId pid, Node& node) {
   };
   node.detector->set_profile(&profile_.histogram("cycle.detect_us"));
   node.process->set_recorder(recorder_.get());
+  node.process->set_ledger(ledger_.get());
   node.summary_cache_valid = false;
   node.last_summary_fresh = true;
   node.alive = true;
@@ -895,6 +903,20 @@ void Cluster::send_reconciliation(rm::Process& from, ProcessId peer) {
 
 void Cluster::handle_cycle_found(ProcessId at, const gc::Cdm& cdm) {
   cycles_found_.push_back(cdm);
+  if (ledger_ != nullptr) {
+    // The verdict fires on the serial dispatch (or detect) path, so the
+    // ledger hook is deterministic.  Before sending the Cut, so zero-hop
+    // local detections have a live record for the Cut send to charge.
+    std::uint64_t unlinked = 0;
+    if (const auto it = nodes_.find(cdm.candidate.process);
+        it != nodes_.end() && it->second.alive) {
+      if (const rm::Object* obj =
+              it->second.process->heap().find(cdm.candidate.object)) {
+        unlinked = obj->unlinked_at;
+      }
+    }
+    ledger_->cycle_proven(at, cdm, unlinked);
+  }
   if (!config_.auto_cut) return;
   auto cut = std::make_unique<gc::CutMsg>(gc::CycleDetector::make_cut(cdm));
   net_.send(at, cdm.candidate.process, std::move(cut));

@@ -35,6 +35,7 @@
 #include "net/network.h"
 #include "obs/audit.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/recorder.h"
 #include "rm/process.h"
 #include "util/ids.h"
@@ -111,6 +112,11 @@ struct ClusterConfig {
   /// versioned `.rgcrec` file (sim_cli --record wires this up; SIGABRT
   /// dumps are armed separately via obs::arm_abort_dump).
   std::string record_dump_path{};
+  /// Per-cycle cost ledger (obs/ledger.h): completed-entry ring capacity.
+  /// Always on by default — the ledger is deterministic and its entries
+  /// feed the report's slowest-cycles table and `--explain-cycle`.  0
+  /// disables it.
+  std::size_t ledger_capacity{256};
 };
 
 /// Outcome of run_until_quiescent: how many steps ran and whether the
@@ -262,6 +268,11 @@ class Cluster {
   /// Run identity for dumping this cluster's recording (rounds = 0: the
   /// cluster doesn't know the driving workload's round count).
   [[nodiscard]] obs::RecStamp recorder_stamp() const;
+  /// The per-cycle cost ledger (null when ledger_capacity is 0).
+  [[nodiscard]] obs::Ledger* ledger() noexcept { return ledger_.get(); }
+  [[nodiscard]] const obs::Ledger* ledger() const noexcept {
+    return ledger_.get();
+  }
 
   // ---- Garbage collection -------------------------------------------------
   /// One local collection + acyclic-protocol round on one process.
@@ -413,6 +424,8 @@ class Cluster {
   std::unique_ptr<obs::HealthAuditor> auditor_;
   /// Also a net_ observer (add_observer) — same ordering rule.
   std::unique_ptr<obs::FlightRecorder> recorder_;
+  /// Per-cycle cost ledger; also a net_ observer (add_observer).
+  std::unique_ptr<obs::Ledger> ledger_;
   /// Audit errors already recorded/dumped (the recorder notes each new
   /// ERROR once; the first one triggers the record_dump_path dump).
   std::uint64_t recorded_audit_errors_{0};

@@ -61,6 +61,24 @@ ClusterReport make_report(const Cluster& cluster) {
       gc_totals[name] = value;
     }
   }
+  // The cost ledger's registry is deterministic (fed only from serial
+  // phases), so unlike the recorder/profile registries it belongs in the
+  // report: counters and gauges into the gc table, histograms merged.
+  if (const obs::Ledger* ledger = cluster.ledger(); ledger != nullptr) {
+    for (const auto& [name, value] : ledger->metrics().snapshot()) {
+      if (value != 0) gc_totals[name] += value;
+    }
+    for (const auto& [name, value] : ledger->metrics().gauge_snapshot()) {
+      if (value != 0) gc_totals[name] = value;
+    }
+    for (const auto& [name, hist] : ledger->metrics().histogram_snapshot()) {
+      if (hist->count() != 0) hist_totals[name].merge(*hist);
+    }
+    constexpr std::size_t kTopK = 5;
+    for (const obs::LedgerEntry* e : ledger->slowest(kTopK)) {
+      report.slowest_cycles.push_back(*e);
+    }
+  }
   report.gc_counters.assign(gc_totals.begin(), gc_totals.end());
   for (const auto& [name, hist] :
        cluster.network().metrics().histogram_snapshot()) {
@@ -124,6 +142,27 @@ std::ostream& operator<<(std::ostream& os, const ClusterReport& report) {
   for (const auto& [name, hist] : report.histograms) {
     os << "  hist " << name << ": " << hist.to_string() << "\n";
   }
+  if (!report.slowest_cycles.empty()) {
+    os << "  slowest cycles (ledger):\n";
+    os << "    detection            candidate    e2e  detect    cut  sweep  "
+          "hops  dominant\n";
+    for (const obs::LedgerEntry& e : report.slowest_cycles) {
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "    %-20llu %-10s %6llu %7llu %6llu %6llu %5zu  %s\n",
+                    static_cast<unsigned long long>(e.detection_id),
+                    (to_string(e.candidate) + "@" +
+                     to_string(e.candidate_process))
+                        .c_str(),
+                    static_cast<unsigned long long>(e.e2e_steps),
+                    static_cast<unsigned long long>(e.detect_steps),
+                    static_cast<unsigned long long>(e.cut_wait_steps +
+                                                    e.cut_transit_steps),
+                    static_cast<unsigned long long>(e.sweep_wait_steps),
+                    e.path.size(), e.dominant().c_str());
+      os << line;
+    }
+  }
   if (report.health.present) {
     os << "  health: " << report.health.worst << " (" << report.health.errors
        << " errors, " << report.health.warnings << " warnings, "
@@ -184,7 +223,11 @@ void ClusterReport::write_json(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << (histograms.empty() ? "" : "\n  ") << "},\n  \"health\": {";
+  os << (histograms.empty() ? "" : "\n  ") << "},\n  \"slowest_cycles\": [";
+  for (std::size_t i = 0; i < slowest_cycles.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ") << slowest_cycles[i].to_json();
+  }
+  os << (slowest_cycles.empty() ? "" : "\n  ") << "],\n  \"health\": {";
   os << "\"present\": " << (health.present ? "true" : "false");
   if (health.present) {
     os << ", \"worst\": \"" << util::json_escape(health.worst)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "obs/ledger.h"
 #include "util/metrics.h"
 
 namespace rgc::core {
@@ -54,6 +55,10 @@ struct ClusterReport {
   /// cycle.steps_to_detection, net.queue_depth, lgc.* per-collection).
   std::vector<std::pair<std::string, util::Histogram>> histograms;
   std::uint64_t cycles_found{0};
+  /// Top-K slowest reclaimed cycles from the cost ledger (obs/ledger.h),
+  /// slowest first, each with its full critical-path decomposition.  The
+  /// ledger feeds only from serial phases, so this table is deterministic.
+  std::vector<obs::LedgerEntry> slowest_cycles;
   /// Latest health-audit outcome (see obs::HealthAuditor).
   HealthSummary health;
 

@@ -187,6 +187,9 @@ struct CutMsg final : net::Message {
 struct PropCutMsg final : net::Message {
   ObjectId object{kNoObject};
   std::uint64_t expected_uc{0};
+  /// Detection that ordered the cut — carried so cost accounting
+  /// (obs::Ledger) can charge the whole cut fan-out to its cycle.
+  std::uint64_t detection_id{0};
 
   [[nodiscard]] const char* kind() const noexcept override { return "PropCut"; }
   [[nodiscard]] bool reliable() const noexcept override { return true; }

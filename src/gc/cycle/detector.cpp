@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/ledger.h"
 #include "util/log.h"
 #include "util/trace.h"
 
@@ -571,6 +572,9 @@ void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
                   {util::TraceArg::num("detection", msg.detection_id),
                    util::TraceArg::str("candidate", rgc::to_string(msg.candidate))});
   }
+  std::uint64_t scions_cut = 0;
+  std::uint64_t props_cut = 0;
+  std::uint64_t stale = 0;
   auto& scions = process_.scions();
   for (const auto& [key, expected_ic] : msg.scion_cuts) {
     auto it = scions.find(key);
@@ -579,17 +583,20 @@ void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
       // An invocation landed after the detection's snapshots: the proof no
       // longer covers reality — skip, never misapply (safety over progress).
       process_.metrics().add("cycle.cuts_stale");
+      ++stale;
       continue;
     }
     scions.erase(it);
     process_.note_mutation();
     process_.metrics().add("cycle.scions_cut");
+    ++scions_cut;
   }
   for (const auto& [parent, expected_uc] : msg.prop_cuts) {
     rm::InProp* e = process_.find_in_prop(msg.candidate, parent);
     if (e == nullptr) continue;
     if (e->uc != expected_uc) {
       process_.metrics().add("cycle.cuts_stale");
+      ++stale;
       continue;
     }
     auto& ins = process_.in_props();
@@ -602,9 +609,14 @@ void CycleDetector::on_cut(const net::Envelope& env, const CutMsg& msg) {
     auto cut = std::make_unique<PropCutMsg>();
     cut->object = msg.candidate;
     cut->expected_uc = expected_uc;
+    cut->detection_id = msg.detection_id;
     process_.network().send(process_.id(), parent, std::move(cut));
     process_.note_mutation();
     process_.metrics().add("cycle.props_cut");
+    ++props_cut;
+  }
+  if (obs::Ledger* ledger = process_.ledger(); ledger != nullptr) {
+    ledger->cut_applied(msg.detection_id, scions_cut, props_cut, stale);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "gc/lgc/lgc.h"
 
+#include "obs/ledger.h"
 #include "obs/recorder.h"
 #include "util/log.h"
 #include "util/trace.h"
@@ -149,6 +150,10 @@ LgcResult Lgc::apply(rm::Process& process, const LgcMark& marked,
     // step, or garbage from before auditing existed) record as 0.
     reclaim_latency.record(obj.unlinked_at == 0 ? 0 : now - obj.unlinked_at);
     process.note_reclaimed(id, now);
+    // The sweep runs in the serial phase, so the ledger stays deterministic.
+    if (obs::Ledger* ledger = process.ledger(); ledger != nullptr) {
+      ledger->object_reclaimed(process.id(), id, now);
+    }
     result.reclaimed.push_back(id);
     heap.erase(id);
   });

@@ -165,6 +165,10 @@ class Network {
   /// Virtual time (number of completed steps).
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
 
+  [[nodiscard]] const NetworkConfig& config() const noexcept {
+    return config_;
+  }
+
   [[nodiscard]] bool idle() const noexcept { return in_flight_count_ == 0; }
 
   /// Cumulative counters: "net.sent.<kind>", "net.delivered.<kind>",

@@ -8,6 +8,7 @@
 #include "core/cluster.h"
 #include "obs/audit.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/recorder.h"
 #include "rm/process.h"
 #include "util/metrics.h"
@@ -90,6 +91,29 @@ std::string render_dashboard(const core::Cluster& cluster,
             static_cast<unsigned long long>(rec->appended()),
             static_cast<unsigned long long>(rec->dropped()),
             rec->divergence().found ? " | REPLAY DIVERGED" : "");
+  }
+
+  // ---- Slowest cycles (cost ledger) -----------------------------------
+  if (const Ledger* ledger = cluster.ledger();
+      ledger != nullptr && ledger->completed() != 0) {
+    appendf(out, "slowest cycles (%llu reclaimed, %zu live):\n",
+            static_cast<unsigned long long>(ledger->completed()),
+            ledger->live());
+    constexpr std::size_t kPanelRows = 4;
+    for (const LedgerEntry* e : ledger->slowest(kPanelRows)) {
+      appendf(out,
+              "  #%llu %s@%s  e2e %llu = detect %llu + cut %llu + sweep "
+              "%llu | %zu hops | %s\n",
+              static_cast<unsigned long long>(e->detection_id),
+              rgc::to_string(e->candidate).c_str(),
+              rgc::to_string(e->candidate_process).c_str(),
+              static_cast<unsigned long long>(e->e2e_steps),
+              static_cast<unsigned long long>(e->detect_steps),
+              static_cast<unsigned long long>(e->cut_wait_steps +
+                                              e->cut_transit_steps),
+              static_cast<unsigned long long>(e->sweep_wait_steps),
+              e->path.size(), e->dominant().c_str());
+    }
   }
 
   // ---- Per-process table ----------------------------------------------

@@ -103,6 +103,9 @@ void write_prometheus(const core::Cluster& cluster, std::ostream& os) {
   if (cluster.recorder() != nullptr) {
     collect(cluster.recorder()->metrics(), {});
   }
+  if (cluster.ledger() != nullptr) {
+    collect(cluster.ledger()->metrics(), {});
+  }
 
   // A histogram family claims its name plus the _bucket/_sum/_count
   // suffixes; a scalar family with the same base name would produce a

@@ -29,6 +29,7 @@
 
 namespace rgc::obs {
 class FlightRecorder;
+class Ledger;
 }  // namespace rgc::obs
 
 namespace rgc::rm {
@@ -381,6 +382,12 @@ class Process {
     return recorder_;
   }
 
+  /// Per-cycle cost ledger (obs/ledger.h) — same borrowing rules as the
+  /// recorder.  The LGC sweep reports reclaims and the detector reports
+  /// cut application through it.
+  void set_ledger(obs::Ledger* ledger) noexcept { ledger_ = ledger; }
+  [[nodiscard]] obs::Ledger* ledger() const noexcept { return ledger_; }
+
   // ---- LGC marking support --------------------------------------------
 
   /// Starts a fresh mark epoch: bumps the epoch (invalidating every
@@ -451,6 +458,7 @@ class Process {
   std::map<ProcessId, std::uint64_t> last_heard_;
   bool fault_tolerant_{false};
   obs::FlightRecorder* recorder_{nullptr};
+  obs::Ledger* ledger_{nullptr};
   util::Metrics metrics_;
   ProcessCounters counters_{metrics_};
 };

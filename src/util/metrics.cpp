@@ -84,13 +84,41 @@ std::vector<std::pair<std::string, const Histogram*>> Metrics::histogram_snapsho
   return out;
 }
 
+std::uint64_t parse_vmhwm_kib(std::string_view status_line) {
+  constexpr std::string_view kField = "VmHWM:";
+  if (status_line.substr(0, kField.size()) != kField) return 0;
+  std::size_t i = kField.size();
+  while (i < status_line.size() &&
+         (status_line[i] == ' ' || status_line[i] == '\t')) {
+    ++i;
+  }
+  std::uint64_t kib = 0;
+  bool any = false;
+  for (; i < status_line.size(); ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') break;
+    if (kib > (~std::uint64_t{0} - (c - '0')) / 10) return 0;  // overflow
+    kib = kib * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any || kib > (~std::uint64_t{0}) / 1024) return 0;
+  while (i < status_line.size() &&
+         (status_line[i] == ' ' || status_line[i] == '\t')) {
+    ++i;
+  }
+  // Procfs reports VmHWM in kB; any other (or missing) unit means the
+  // layout is not what we parse, so report "unavailable" over nonsense.
+  if (status_line.substr(i, 2) != "kB") return 0;
+  return kib;
+}
+
 std::uint64_t peak_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
-  unsigned long long kib = 0;
+  std::uint64_t kib = 0;
   char line[256];
   while (std::fgets(line, sizeof line, f) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %llu kB", &kib) == 1) break;
+    if ((kib = parse_vmhwm_kib(line)) != 0) break;
   }
   std::fclose(f);
   return kib * 1024;

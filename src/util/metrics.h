@@ -175,6 +175,12 @@ class Metrics {
 /// (core::Cluster::profile()), never in deterministic reports.
 [[nodiscard]] std::uint64_t peak_rss_bytes();
 
+/// Extracts the VmHWM value (in KiB) from one line of /proc/self/status
+/// content.  Returns 0 for a missing field, malformed number, wrong unit or
+/// a value that would overflow when scaled to bytes — peak_rss_bytes then
+/// degrades to 0 instead of reporting garbage on non-Linux /proc layouts.
+[[nodiscard]] std::uint64_t parse_vmhwm_kib(std::string_view status_line);
+
 /// Records elapsed wall-clock microseconds into a histogram on destruction;
 /// no-op when constructed with nullptr.  Wall times are nondeterministic by
 /// nature, so profiling histograms must live in registries excluded from

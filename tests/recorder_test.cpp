@@ -81,6 +81,61 @@ TEST(RecorderTest, MetricsGaugesTrackRingState) {
   EXPECT_EQ(rec.metrics().gauge_value("recorder.dropped_total"), 1u);
 }
 
+TEST(RecorderTest, RingAccountingSurvivesEventSkipJumps) {
+  // Cluster::advance may leap hundreds of idle steps at once; the ring
+  // accounting (appended == depth + dropped, per-ring wrap behaviour) must
+  // come out identical to per-step execution even when the ring is small
+  // enough to wrap many times mid-run.
+  const auto drive = [](bool event_skip) {
+    core::ClusterConfig cfg;
+    cfg.record_capacity = 8;  // tiny rings: every burst wraps them
+    core::Cluster cluster{cfg};
+    std::vector<ProcessId> pids;
+    for (int i = 0; i < 3; ++i) pids.push_back(cluster.add_process());
+    std::vector<ObjectId> children;
+    for (int i = 0; i < 3; ++i) {
+      const ObjectId parent = cluster.new_object(pids[i]);
+      const ObjectId child = cluster.new_object(pids[i]);
+      cluster.add_root(pids[i], parent);
+      cluster.add_ref(pids[i], parent, child);
+      cluster.propagate(parent, pids[i], pids[(i + 1) % 3]);
+      children.push_back(child);
+    }
+    for (int s = 0; s < 10; ++s) cluster.step();
+    // Traffic bursts separated by long idle gaps the scheduler can skip;
+    // each collect_all appends sweep events on top of transport events.
+    for (int round = 0; round < 6; ++round) {
+      cluster.invoke(pids[(round + 1) % 3], children[round % 3],
+                     /*root_steps=*/2 + round % 3);
+      cluster.collect_all();
+      if (event_skip) {
+        cluster.advance(211);
+      } else {
+        for (int s = 0; s < 211; ++s) cluster.step();
+      }
+    }
+    const FlightRecorder* rec = cluster.recorder();
+    struct Accounting {
+      std::uint64_t appended, dropped, depth;
+      std::string bytes;
+    };
+    return Accounting{rec->appended(), rec->dropped(), rec->depth(),
+                      rec->encode(RecStamp{})};
+  };
+
+  const auto a = drive(/*event_skip=*/false);
+  const auto b = drive(/*event_skip=*/true);
+  EXPECT_GT(a.appended, 0u);
+  EXPECT_GT(a.dropped, 0u) << "capacity 8 must wrap under this workload";
+  // Conservation on both sides, and identical accounting across schedules.
+  EXPECT_EQ(a.appended, a.depth + a.dropped);
+  EXPECT_EQ(b.appended, b.depth + b.dropped);
+  EXPECT_EQ(a.appended, b.appended);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
 // ---- Serialization ---------------------------------------------------------
 
 RecStamp sample_stamp() {

@@ -188,5 +188,69 @@ TEST(Metrics, SnapshotSortedByName) {
   EXPECT_EQ(snap[1].first, "zeta");
 }
 
+TEST(HistogramPercentile, EmptyHistogramIsAllZero) {
+  util::Histogram h;
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(HistogramPercentile, SingleValueCollapsesEveryQuantile) {
+  util::Histogram h;
+  h.record(42);
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 42u) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentile, SingleBucketClampsToObservedRange) {
+  // 100..127 all land in the [64, 127] bucket; the estimate is the bucket's
+  // upper bound clamped into [min, max], so every quantile stays within
+  // what was actually observed.
+  util::Histogram h;
+  for (std::uint64_t v = 100; v <= 120; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 100u);
+  EXPECT_GE(h.percentile(0.5), 100u);
+  EXPECT_LE(h.percentile(0.5), 120u);
+  EXPECT_EQ(h.percentile(0.99), 120u);  // bucket hi 127 clamps to max
+  EXPECT_EQ(h.percentile(1.0), 120u);
+}
+
+TEST(HistogramPercentile, QuantilesOutsideUnitIntervalClampToMinMax) {
+  util::Histogram h;
+  h.record(3);
+  h.record(900);
+  EXPECT_EQ(h.percentile(-0.5), 3u);
+  EXPECT_EQ(h.percentile(1.5), 900u);
+}
+
+TEST(HistogramPercentile, P99AtSaturationBucketStaysInObservedRange) {
+  // Values beyond 2^32 saturate into the last bucket, whose nominal upper
+  // bound (2^32 - 1) lies *below* every recorded value; the estimate must
+  // clamp into [min, max] rather than report the absurd bucket bound.
+  util::Histogram h;
+  const std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 100; ++i) h.record(huge + static_cast<std::uint64_t>(i));
+  EXPECT_GE(h.percentile(0.99), huge);
+  EXPECT_LE(h.percentile(0.99), huge + 99);
+  EXPECT_GE(h.percentile(0.5), huge);
+  EXPECT_LE(h.percentile(0.5), huge + 99);
+  EXPECT_EQ(h.percentile(1.0), huge + 99);  // q >= 1 is exactly max
+  EXPECT_EQ(h.min(), huge);
+  EXPECT_EQ(h.max(), huge + 99);
+}
+
+TEST(HistogramPercentile, RankFallsInTheRightBucket) {
+  // 90 small values + 10 large: p50 must come from the small bucket,
+  // p99 from the large one.
+  util::Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(2);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  EXPECT_LE(h.percentile(0.5), 3u);
+  EXPECT_GE(h.percentile(0.95), 1000u);
+  EXPECT_LE(h.percentile(0.95), 1023u);
+}
+
 }  // namespace
 }  // namespace rgc
