@@ -81,6 +81,21 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "== ledger determinism (threads x event-skip) =="
   ./build/tests/ledger_test \
     --gtest_filter='LedgerTest.JsonlByteIdenticalAcrossThreadCounts:LedgerTest.JsonlByteIdenticalAcrossSchedules:LedgerTest.DecompositionIdentityHoldsOnJitteredMeshes'
+
+  # Adaptive scheduling + decentralized quiescence (docs/DESIGN.md
+  # "Adaptive deferred detection"): the policy-labelled suite under both
+  # sanitizers — the termination detector's per-account arithmetic and the
+  # daemon's lane maps are exactly where a sanitizer finds the lie — plus
+  # the chaos suite re-run with the adaptive daemon explicitly on and off
+  # (RGC_CHAOS_ADAPTIVE; the on-leg also exercises the token-based
+  # run_until_quiescent agreement asserts on every kill/restart/partition).
+  echo "== policy suite under ASan/UBSan + TSan =="
+  ctest --test-dir build-asan -L policy --output-on-failure -j "$JOBS"
+  cmake --build build-tsan -j "$JOBS" --target policy_test
+  ./build-tsan/tests/policy_test
+  echo "== chaos under ASan/UBSan, adaptive daemon off (fixed-cadence cross-check) =="
+  RGC_CHAOS_AUDIT=1 RGC_CHAOS_THREADS=4 RGC_CHAOS_FAULTS=1 RGC_CHAOS_ADAPTIVE=0 \
+    ./build-asan/tests/chaos_test
 fi
 
 echo "OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <set>
 #include <stdexcept>
 
@@ -31,6 +32,8 @@ Cluster::Cluster(ClusterConfig config)
     ledger_->bind(&net_);
     net_.add_observer(ledger_.get());
   }
+  termination_ = std::make_unique<TerminationDetector>(net_.metrics());
+  net_.add_observer(termination_.get());
   // Leases imply the fault model: invokes may legally race a crash window.
   faults_engaged_ = config_.lease_timeout > 0;
 }
@@ -80,6 +83,7 @@ void Cluster::build_node(ProcessId pid, Node& node) {
   node.summary_cache_valid = false;
   node.last_summary_fresh = true;
   node.alive = true;
+  termination_->attach(pid);
   net_.attach(pid, [this, pid](const net::Envelope& env) { dispatch(pid, env); });
 }
 
@@ -273,28 +277,46 @@ void Cluster::advance(std::uint64_t steps) {
 
 QuiescenceStatus Cluster::run_until_quiescent(std::uint64_t max_steps) {
   const std::uint64_t start = now();
-  while (!net_.idle() && now() - start < max_steps) {
+  // Decentralized termination detection (core/quiescence.h): each loop
+  // iteration circulates the weighted token through the per-process
+  // send/receive accounts instead of reading the network's global
+  // in-flight count — no "is everyone idle" scan in the non-debug path.
+  while (!termination_->probe() && now() - start < max_steps) {
+#ifndef NDEBUG
+    // Debug cross-check: at a frozen step boundary the token's verdict
+    // must agree with the legacy global idle scan it replaced, and the
+    // summed account deficit must equal the transport's live population
+    // (the conservation argument in core/quiescence.h).
+    assert(!net_.idle());
+    assert(termination_->deficit() == net_.in_flight());
+#endif
     const std::uint64_t budget = max_steps - (now() - start);
     advance_clock(std::min(next_event_delta(), budget));
   }
   const std::uint64_t steps = now() - start;
-  if (!net_.idle()) {
+  const bool quiescent = termination_->quiescent();
+  const auto in_flight = static_cast<std::size_t>(termination_->deficit());
+#ifndef NDEBUG
+  assert(quiescent == net_.idle());
+  assert(in_flight == net_.in_flight());
+#endif
+  if (!quiescent) {
     // Giving up with traffic still queued means protocol rounds (ADGC
     // hand-shakes, CDM tracks) were cut short — callers used to get no
     // signal at all.  Count it and say so.
     net_.metrics().add("cluster.quiescence_timeout");
     RGC_WARN("cluster: run_until_quiescent gave up after ", max_steps,
-             " steps with ", net_.in_flight(), " messages still in flight");
+             " steps with ", in_flight, " messages still in flight");
   }
-  // Crashed processes are not pending work: kill() purged their traffic, so
-  // they never hold up quiescence — callers see them in `dead` instead.
-  std::size_t dead = 0;
-  for (const auto& [pid, node] : nodes_) dead += node.alive ? 0 : 1;
+  // Crashed processes are not pending work: kill() purged their traffic
+  // (refunding the senders' accounts), so they never hold up quiescence —
+  // callers see them in `dead` instead.
+  const std::size_t dead = termination_->dead();
   // Why a run stalled, as registered gauges: crashed members vs a genuine
   // truncation (gave up with traffic still in flight).
   net_.metrics().gauge("cluster.quiescence_dead_pids").set(dead);
-  net_.metrics().gauge("cluster.quiescence_truncated").set(net_.idle() ? 0 : 1);
-  return QuiescenceStatus{steps, net_.idle(), net_.in_flight(), dead};
+  net_.metrics().gauge("cluster.quiescence_truncated").set(quiescent ? 0 : 1);
+  return QuiescenceStatus{steps, quiescent, in_flight, dead};
 }
 
 util::ThreadPool& Cluster::pool() {
@@ -692,6 +714,10 @@ void Cluster::kill(ProcessId pid) {
   // sent/received, pending cut whitelists) before the state vanishes.
   auditor_->note_crash(pid, node.process->metrics());
   net_.detach(pid);  // purges its in-flight traffic, both directions
+  // Freeze the account *after* the purge refunds landed: the dead pid's
+  // balance is now exact and stays in the termination books (a crashed
+  // process is never "pending work" — docs/FAULTS.md).
+  termination_->mark_dead(pid);
   node.process.reset();
   node.detector.reset();
   node.baseline.reset();

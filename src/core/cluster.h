@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/quiescence.h"
 #include "gc/adgc/adgc.h"
 #include "gc/baseline/baseline_detector.h"
 #include "gc/cycle/detector.h"
@@ -273,6 +274,14 @@ class Cluster {
   [[nodiscard]] const obs::Ledger* ledger() const noexcept {
     return ledger_.get();
   }
+  /// The decentralized termination detector run_until_quiescent() consults
+  /// instead of the old global idle scan (core/quiescence.h).  Always on.
+  [[nodiscard]] TerminationDetector& termination() noexcept {
+    return *termination_;
+  }
+  [[nodiscard]] const TerminationDetector& termination() const noexcept {
+    return *termination_;
+  }
 
   // ---- Garbage collection -------------------------------------------------
   /// One local collection + acyclic-protocol round on one process.
@@ -426,6 +435,9 @@ class Cluster {
   std::unique_ptr<obs::FlightRecorder> recorder_;
   /// Per-cycle cost ledger; also a net_ observer (add_observer).
   std::unique_ptr<obs::Ledger> ledger_;
+  /// Decentralized termination detection — per-process send/receive
+  /// accounts maintained from transport events; also a net_ observer.
+  std::unique_ptr<TerminationDetector> termination_;
   /// Audit errors already recorded/dumped (the recorder notes each new
   /// ERROR once; the first one triggers the record_dump_path dump).
   std::uint64_t recorded_audit_errors_{0};

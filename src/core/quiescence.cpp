@@ -1,0 +1,123 @@
+#include "core/quiescence.h"
+
+#include <stdexcept>
+
+namespace rgc::core {
+
+TerminationDetector::TerminationDetector(util::Metrics& registry)
+    : probes_(registry.counter("cluster.termination_probes")),
+      waves_(registry.counter("cluster.termination_waves")),
+      confirmations_(registry.counter("cluster.termination_confirmed")),
+      deficit_gauge_(registry.gauge("cluster.termination_deficit")),
+      weight_gauge_(registry.gauge("cluster.termination_weight_deficit")) {}
+
+TerminationDetector::Account& TerminationDetector::slot(ProcessId pid) {
+  const std::size_t i = raw(pid);
+  if (i >= accounts_.size()) accounts_.resize(i + 1);
+  return accounts_[i];
+}
+
+const TerminationDetector::Account& TerminationDetector::account(
+    ProcessId pid) const {
+  const std::size_t i = raw(pid);
+  if (i >= accounts_.size()) {
+    throw std::out_of_range("TerminationDetector: unknown pid " +
+                            to_string(pid));
+  }
+  return accounts_[i];
+}
+
+void TerminationDetector::attach(ProcessId pid) {
+  Account& a = slot(pid);
+  if (a.dead) {
+    // Restart: the balance carries over (purge refunds already landed at
+    // kill time, so a revived account opens with a clean slate of zero
+    // outstanding messages plus whatever it accrued before the crash).
+    a.dead = false;
+    --dead_count_;
+    ++a.version;
+  }
+}
+
+void TerminationDetector::mark_dead(ProcessId pid) {
+  Account& a = slot(pid);
+  if (a.dead) return;
+  a.dead = true;
+  ++dead_count_;
+  ++a.version;
+}
+
+void TerminationDetector::on_send(const net::Envelope& env) {
+  Account& a = slot(env.src);
+  ++a.sent;
+  a.weight_sent += env.msg->weight();
+  ++a.version;
+}
+
+void TerminationDetector::on_deliver(const net::Envelope& env) {
+  Account& a = slot(env.dst);
+  ++a.received;
+  a.weight_received += env.msg->weight();
+  ++a.version;
+}
+
+void TerminationDetector::on_drop(const net::Envelope& env) {
+  // Transport NACK at the source: a refused send (dead destination,
+  // severed partition link, send-time loss) or a purge of an in-flight
+  // message both refund the sender — the message will never be received,
+  // so it must not be counted as outstanding.
+  Account& a = slot(env.src);
+  --a.sent;
+  a.weight_sent -= env.msg->weight();
+  ++a.version;
+}
+
+void TerminationDetector::on_duplicate(const net::Envelope& env) {
+  // Transport-level retransmission: one extra copy on the sender's link,
+  // charged exactly like the original so the later extra delivery balances.
+  Account& a = slot(env.src);
+  ++a.sent;
+  a.weight_sent += env.msg->weight();
+  ++a.version;
+}
+
+bool TerminationDetector::probe() {
+  probes_.inc();
+
+  // Wave 1: circulate the token through the accounts in pid order,
+  // accumulating the deficit and the version signature.
+  waves_.inc();
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t wsent = 0;
+  std::uint64_t wreceived = 0;
+  std::uint64_t signature = 0;
+  for (const Account& a : accounts_) {
+    sent += a.sent;
+    received += a.received;
+    wsent += a.weight_sent;
+    wreceived += a.weight_received;
+    signature += a.version;
+  }
+  last_deficit_ = sent - received;
+  last_weight_deficit_ = wsent - wreceived;
+  deficit_gauge_.set(last_deficit_);
+  weight_gauge_.set(last_weight_deficit_);
+
+  if (last_deficit_ != 0) {
+    last_verdict_ = false;
+    return false;
+  }
+
+  // Wave 2 (confirmation): a zero deficit only proves termination if no
+  // account changed while the token circulated — re-walk and require the
+  // version signature to match (Safra's second pass / the clean token).
+  waves_.inc();
+  std::uint64_t confirm = 0;
+  for (const Account& a : accounts_) confirm += a.version;
+  last_verdict_ = confirm == signature;
+  if (last_verdict_) confirmations_.inc();
+  return last_verdict_;
+}
+
+}  // namespace rgc::core

@@ -51,13 +51,19 @@ ClusterReport make_report(const Cluster& cluster) {
       report.traffic.emplace_back(name.substr(kSentPrefix.size()), value);
     }
     // Cluster-level incidents counted into the network registry (e.g.
-    // cluster.quiescence_timeout) surface alongside the GC counters.
-    if (value != 0 && name.starts_with("cluster.")) gc_totals[name] += value;
+    // cluster.quiescence_timeout) and the GC daemon's scheduling counters
+    // (daemon.collections, daemon.skipped_sweeps, ...) surface alongside
+    // the GC counters.
+    if (value != 0 &&
+        (name.starts_with("cluster.") || name.starts_with("daemon."))) {
+      gc_totals[name] += value;
+    }
   }
   // Cluster-level gauges (e.g. cycle.summary_dirty_fraction) ride along in
   // the same table; last-set value, not a sum.
   for (const auto& [name, value] : cluster.network().metrics().gauge_snapshot()) {
-    if (value != 0 && (name.starts_with("cycle.") || name.starts_with("cluster."))) {
+    if (value != 0 && (name.starts_with("cycle.") || name.starts_with("cluster.") ||
+                       name.starts_with("daemon."))) {
       gc_totals[name] = value;
     }
   }

@@ -44,6 +44,32 @@ void apply_env_overrides(ClusterConfig& cfg) {
   cfg.audit_interval = env_u64("RGC_CHAOS_AUDIT", cfg.audit_interval);
 }
 
+/// Daemon scheduling for the chaos runs: adaptive deferred detection is
+/// the default; RGC_CHAOS_ADAPTIVE=0 pins the legacy fixed cadence so CI
+/// can audit both policies under the same fault mix.
+core::DaemonConfig chaos_daemon_config() {
+  core::DaemonConfig cfg;
+  cfg.adaptive.enabled = env_u64("RGC_CHAOS_ADAPTIVE", 1) != 0;
+  return cfg;
+}
+
+/// The decentralized termination verdict must agree with the legacy global
+/// idle scan after every quiescence call — on the chaos suite this covers
+/// the kill/restart/partition paths (purge refunds, frozen accounts).
+::testing::AssertionResult termination_agrees(const Cluster& cluster) {
+  if (cluster.termination().quiescent() != cluster.network().idle()) {
+    return ::testing::AssertionFailure()
+           << "verdict " << cluster.termination().quiescent()
+           << " vs global idle " << cluster.network().idle();
+  }
+  if (cluster.termination().deficit() != cluster.network().in_flight()) {
+    return ::testing::AssertionFailure()
+           << "deficit " << cluster.termination().deficit() << " vs in-flight "
+           << cluster.network().in_flight();
+  }
+  return ::testing::AssertionSuccess();
+}
+
 struct ChaosCase {
   std::uint64_t seed;
   std::size_t processes;
@@ -74,12 +100,14 @@ TEST_P(Chaos, SafetyUnderEverything) {
   spec.w_collect = 0;  // the daemon collects
   spec.w_step = 5;
   workload::RandomMutator mutator{cluster, spec};
-  GcDaemon daemon{cluster};
+  GcDaemon daemon{cluster, chaos_daemon_config()};
 
   for (int burst = 0; burst < 10; ++burst) {
     mutator.run(60);
     daemon.run(25);
     cluster.run_until_quiescent();
+    ASSERT_TRUE(termination_agrees(cluster))
+        << "seed " << param.seed << " burst " << burst;
     const auto report = Oracle::analyze(cluster);
     ASSERT_TRUE(report.violations.empty())
         << "seed " << param.seed << " burst " << burst << ": "
@@ -110,6 +138,7 @@ TEST_P(Chaos, EventualCompletenessOnceQuiet) {
   workload::RandomMutator mutator{cluster, spec};
   mutator.run(400);
   cluster.run_until_quiescent();
+  ASSERT_TRUE(termination_agrees(cluster)) << "seed " << param.seed;
 
   bool done = false;
   for (int attempt = 0; attempt < 60 && !done; ++attempt) {
@@ -155,6 +184,9 @@ struct FaultRunOutcome {
   std::uint64_t recoveries{0};
   std::uint64_t lease_expirations{0};
   std::uint64_t total_objects{0};
+  /// Decentralized termination verdict agreed with the legacy global scan
+  /// after end-of-chaos quiescence (kills, restarts and partitions landed).
+  bool termination_agreed{false};
   std::string detail;
 
   bool operator==(const FaultRunOutcome&) const = default;
@@ -194,7 +226,7 @@ FaultRunOutcome run_fault_chaos(std::uint64_t seed, std::size_t processes,
   spec.w_collect = 0;  // the daemon collects
   spec.w_step = 5;
   workload::RandomMutator mutator{cluster, spec};
-  GcDaemon daemon{cluster};
+  GcDaemon daemon{cluster, chaos_daemon_config()};
 
   // Interleave mutation, background GC (detection included — kills land
   // mid-detection), and the fault schedule until the plan drains.
@@ -211,6 +243,7 @@ FaultRunOutcome run_fault_chaos(std::uint64_t seed, std::size_t processes,
 
   bool dry = false;
   FaultRunOutcome out;
+  out.termination_agreed = termination_agrees(cluster);
   for (int attempt = 0; attempt < 60 && !dry; ++attempt) {
     cluster.run_full_gc(3);
     const auto report = Oracle::analyze(cluster);
@@ -254,6 +287,8 @@ TEST(FaultChaos, AcceptanceSixteenProcessFaultMix) {
   EXPECT_EQ(out.garbage, 0u) << "floating garbage survived chaos";
   EXPECT_EQ(out.audit_errors, 0u) << out.detail;
   EXPECT_TRUE(out.checker_ok) << out.detail;
+  EXPECT_TRUE(out.termination_agreed)
+      << "decentralized quiescence diverged from the global scan";
 }
 
 // Same seed, same plan, same outcome — the chaos schedule is reproducible,
@@ -286,6 +321,7 @@ TEST_P(FaultChaosLegs, SafeAndCompleteUnderLossyChaos) {
   EXPECT_EQ(out.garbage, 0u) << "seed " << param.seed;
   EXPECT_EQ(out.audit_errors, 0u) << "seed " << param.seed << "\n" << out.detail;
   EXPECT_TRUE(out.checker_ok) << "seed " << param.seed << "\n" << out.detail;
+  EXPECT_TRUE(out.termination_agreed) << "seed " << param.seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -17,6 +17,7 @@ TEST(Daemon, RunsCollectionsOnSchedule) {
   DaemonConfig cfg;
   cfg.collect_period = 4;
   cfg.snapshot_period = 8;
+  cfg.adaptive.enabled = false;  // this test pins the fixed cadence
   GcDaemon daemon{cluster, cfg};
   daemon.run(32);
   // 2 processes x (32/4) due collection ticks, staggered but all hit.
@@ -92,6 +93,7 @@ TEST(Daemon, ZeroPeriodsAreSanitized) {
   DaemonConfig cfg;
   cfg.collect_period = 0;
   cfg.snapshot_period = 0;
+  cfg.adaptive.enabled = false;  // the every-step cadence is the point
   GcDaemon daemon{cluster, cfg};
   daemon.run(5);  // must not divide by zero
   EXPECT_GE(daemon.collections(), 5u);
